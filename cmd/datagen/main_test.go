@@ -1,0 +1,21 @@
+package main
+
+import "testing"
+
+func TestRunTinyStream(t *testing.T) {
+	if err := run([]string{"-nodes", "4", "-duration", "60s", "-period", "15s"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsBadProbability(t *testing.T) {
+	if err := run([]string{"-missing", "2.0", "-nodes", "4"}); err == nil {
+		t.Fatal("probability > 1 must fail")
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	if err := run([]string{"-nope"}); err == nil {
+		t.Fatal("bad flag must fail")
+	}
+}

@@ -1,0 +1,129 @@
+// Command expfig regenerates every table and figure of the paper's
+// evaluation section (Figs. 4–9, the §7.1 accuracy claim, and the 32-
+// vs-53-node scale comparison) and prints them as TSV blocks suitable
+// for gnuplot.
+//
+// Usage:
+//
+//	expfig [-fig all|fig4|fig5|fig6|fig7|fig8|fig9|accuracy|scale]
+//	       [-full] [-seeds n] [-duration d] [-out dir] [-v]
+//
+// By default a reduced "quick" scale runs (one seed, 400 s); -full
+// selects the paper scale (four seeds, 1000 s, full sweeps), which takes
+// considerably longer.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"innet/internal/runner"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "expfig:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("expfig", flag.ContinueOnError)
+	var (
+		figFlag  = fs.String("fig", "all", "figure to regenerate (all, fig4..fig9, accuracy, scale)")
+		full     = fs.Bool("full", false, "paper scale: 4 seeds, 1000 s, full sweeps")
+		seeds    = fs.Int("seeds", 0, "override the number of seeds")
+		duration = fs.Duration("duration", 0, "override the simulated duration")
+		outDir   = fs.String("out", "", "also write each figure's TSVs into this directory")
+		verbose  = fs.Bool("v", false, "progress output on stderr")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	scale := runner.QuickScale()
+	if *full {
+		scale = runner.PaperScale()
+	}
+	if *seeds > 0 {
+		scale.Seeds = scale.Seeds[:0]
+		for s := 1; s <= *seeds; s++ {
+			scale.Seeds = append(scale.Seeds, uint64(s))
+		}
+	}
+	if *duration > 0 {
+		scale.Duration = *duration
+	}
+
+	session := runner.NewSession()
+	if *verbose {
+		start := time.Now()
+		session.Observer = func(cfg runner.Config, res runner.Result) {
+			fmt.Fprintf(os.Stderr, "[%6.0fs] %s %s w=%d n=%d eps=%d: tx=%.5f rx=%.5f acc=%.3f\n",
+				time.Since(start).Seconds(), cfg.Algo, cfg.Ranker, cfg.WindowSamples,
+				cfg.N, cfg.HopLimit, res.AvgTxJPerRound, res.AvgRxJPerRound, res.Accuracy)
+		}
+	}
+
+	type metricSpec struct {
+		name   string
+		metric func(runner.SeriesPoint) float64
+	}
+	energyPair := []metricSpec{{"tx_J_per_round", runner.MetricTx}, {"rx_J_per_round", runner.MetricRx}}
+	figures := []struct {
+		id      string
+		build   func(runner.Scale) (runner.Figure, error)
+		metrics []metricSpec
+	}{
+		{"fig4", session.Fig4, energyPair},
+		{"fig5", session.Fig5, []metricSpec{
+			{"avg_total_J", runner.MetricAvgJ},
+			{"min_total_J", runner.MetricMinJ},
+			{"max_total_J", runner.MetricMaxJ},
+		}},
+		{"fig6", session.Fig6, []metricSpec{
+			{"normalized_min", runner.MetricMinJ},
+			{"normalized_avg", runner.MetricAvgJ},
+			{"normalized_max", runner.MetricMaxJ},
+		}},
+		{"fig7", session.Fig7, energyPair},
+		{"fig8", session.Fig8, energyPair},
+		{"fig9", session.Fig9, energyPair},
+		{"accuracy", session.AccuracyTable, []metricSpec{{"accuracy", runner.MetricAccuracy}}},
+		{"scale", session.ScaleComparison, energyPair},
+	}
+
+	want := strings.ToLower(*figFlag)
+	matched := false
+	for _, f := range figures {
+		if want != "all" && want != f.id {
+			continue
+		}
+		matched = true
+		fig, err := f.build(scale)
+		if err != nil {
+			return fmt.Errorf("%s: %w", f.id, err)
+		}
+		for _, m := range f.metrics {
+			tsv := fig.TSV(m.metric, m.name)
+			fmt.Println(tsv)
+			if *outDir != "" {
+				if err := os.MkdirAll(*outDir, 0o755); err != nil {
+					return err
+				}
+				path := filepath.Join(*outDir, fmt.Sprintf("%s_%s.tsv", f.id, m.name))
+				if err := os.WriteFile(path, []byte(tsv), 0o644); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	if !matched {
+		return fmt.Errorf("unknown figure %q", *figFlag)
+	}
+	return nil
+}

@@ -1,0 +1,40 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunUnknownFigure(t *testing.T) {
+	if err := run([]string{"-fig", "fig99"}); err == nil || !strings.Contains(err.Error(), "unknown figure") {
+		t.Fatalf("unknown figure must fail, got %v", err)
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	if err := run([]string{"-nope"}); err == nil {
+		t.Fatal("bad flag must fail")
+	}
+}
+
+// TestRunAccuracyReduced exercises the full expfig pipeline on the
+// smallest meaningful scale, including TSV file output.
+func TestRunAccuracyReduced(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	dir := t.TempDir()
+	err := run([]string{"-fig", "accuracy", "-duration", "124s", "-seeds", "1", "-out", dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "accuracy_accuracy.tsv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "Global-NN") {
+		t.Fatalf("TSV missing series: %q", data)
+	}
+}

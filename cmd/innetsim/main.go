@@ -1,0 +1,97 @@
+// Command innetsim runs one simulated experiment cell — an algorithm, a
+// ranking function, and the paper's parameters — and prints the measured
+// metrics.
+//
+// Usage:
+//
+//	innetsim [-algo global|semi|central] [-ranker nn|knn] [-k 4] [-n 4]
+//	         [-w 20] [-eps 2] [-nodes 53] [-seeds 2] [-loss 0.0]
+//	         [-period 31s] [-duration 1000s]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"innet/internal/runner"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "innetsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("innetsim", flag.ContinueOnError)
+	var (
+		algo     = fs.String("algo", "global", "algorithm: global, semi, central")
+		ranker   = fs.String("ranker", "nn", "ranking function: nn, knn")
+		k        = fs.Int("k", 4, "neighbors for knn")
+		n        = fs.Int("n", 4, "outliers to report")
+		w        = fs.Int("w", 20, "sliding window, in samples")
+		eps      = fs.Int("eps", 2, "hop diameter for semi-global")
+		nodes    = fs.Int("nodes", 53, "network size")
+		seeds    = fs.Int("seeds", 2, "number of seeds to average")
+		loss     = fs.Float64("loss", 0, "radio loss probability")
+		period   = fs.Duration("period", 31*time.Second, "sampling period")
+		duration = fs.Duration("duration", 1000*time.Second, "simulated run length")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := runner.Config{
+		Ranker:        runner.RankerKind(*ranker),
+		K:             *k,
+		N:             *n,
+		WindowSamples: *w,
+		HopLimit:      *eps,
+		Nodes:         *nodes,
+		Period:        *period,
+		Duration:      *duration,
+		LossProb:      *loss,
+		AccuracyEvery: 5,
+	}
+	switch *algo {
+	case "global":
+		cfg.Algo = runner.AlgoGlobal
+		cfg.HopLimit = 0
+	case "semi":
+		cfg.Algo = runner.AlgoSemiGlobal
+	case "central":
+		cfg.Algo = runner.AlgoCentralized
+	default:
+		return fmt.Errorf("unknown algorithm %q", *algo)
+	}
+	for s := 1; s <= *seeds; s++ {
+		cfg.Seeds = append(cfg.Seeds, uint64(s))
+	}
+
+	res, err := runner.Run(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("algorithm           %v (%s", cfg.Algo, cfg.Ranker)
+	if cfg.Algo == runner.AlgoSemiGlobal {
+		fmt.Printf(", eps=%d", cfg.HopLimit)
+	}
+	fmt.Printf(")\nnetwork             %d nodes, mean degree %.1f\n", cfg.Nodes, res.MeanDegree)
+	fmt.Printf("window / outliers   w=%d samples, n=%d\n", cfg.WindowSamples, cfg.N)
+	fmt.Printf("run                 %v at %v per round, %d seed(s), loss %.1f%%\n",
+		cfg.Duration, cfg.Period, len(cfg.Seeds), cfg.LossProb*100)
+	fmt.Println()
+	fmt.Printf("TX energy           %.6f J per node per round\n", res.AvgTxJPerRound)
+	fmt.Printf("RX energy           %.6f J per node per round\n", res.AvgRxJPerRound)
+	fmt.Printf("total energy        avg %.4f J, min %.4f J, max %.4f J per node\n",
+		res.AvgTotalJ, res.MinTotalJ, res.MaxTotalJ)
+	fmt.Printf("accuracy            %.4f over %d sensor-round checks\n", res.Accuracy, res.AccuracyCount)
+	fmt.Printf("frames sent         %.0f total, busiest node %.0f\n", res.FramesSent, res.SinkFrames)
+	if res.PointsSent > 0 {
+		fmt.Printf("points transmitted  %.0f (tagged recipient-point pairs)\n", res.PointsSent)
+	}
+	return nil
+}

@@ -1,0 +1,47 @@
+package main
+
+import "testing"
+
+func TestRunTinyCell(t *testing.T) {
+	err := run([]string{
+		"-algo", "global", "-ranker", "nn", "-w", "4", "-n", "2",
+		"-nodes", "9", "-seeds", "1",
+		"-period", "10s", "-duration", "60s",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSemiCell(t *testing.T) {
+	err := run([]string{
+		"-algo", "semi", "-eps", "1", "-w", "4", "-n", "2",
+		"-nodes", "9", "-seeds", "1",
+		"-period", "10s", "-duration", "60s",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsUnknownAlgo(t *testing.T) {
+	if err := run([]string{"-algo", "quantum"}); err == nil {
+		t.Fatal("unknown algorithm must fail")
+	}
+}
+
+func TestRunRejectsUnknownRanker(t *testing.T) {
+	err := run([]string{
+		"-algo", "global", "-ranker", "lof",
+		"-nodes", "4", "-seeds", "1", "-period", "10s", "-duration", "20s",
+	})
+	if err == nil {
+		t.Fatal("unknown ranker must fail")
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	if err := run([]string{"-definitely-not-a-flag"}); err == nil {
+		t.Fatal("bad flag must fail")
+	}
+}

@@ -1,0 +1,189 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+// TestDisableFixedPointLosesCorrectness pins down what the Eq. (2)
+// fixed point buys: without it the network still quiesces, but sensors
+// can disagree with the true answer (Lemma 3 no longer holds).
+func TestDisableFixedPointLosesCorrectness(t *testing.T) {
+	failures := 0
+	const trials = 8
+	for seed := uint64(1); seed <= trials; seed++ {
+		r := rng(seed)
+		g := randConnectedGraph(r, 10, 4)
+		net := buildNetwork(t, r, g, Config{Ranker: NN(), N: 3, DisableFixedPoint: true}, 6)
+		want := net.GlobalOutliers(NN(), 3)
+		for _, id := range net.Nodes() {
+			if !sameIDs(net.Detector(id).Estimate(), want) {
+				failures++
+				break
+			}
+		}
+	}
+	if failures == 0 {
+		t.Skip("naive variant happened to converge on all trials; the ablation benchmark covers the measured gap")
+	}
+	t.Logf("naive variant wrong on %d/%d random networks (expected)", failures, trials)
+}
+
+// TestLiteralHopFilterDegradesAccuracy compares the pseudo-code's
+// literal ledger filter (stratum-0 fixed point permanently starved)
+// against the receiver-frame default on the same networks.
+func TestLiteralHopFilterDegradesAccuracy(t *testing.T) {
+	measure := func(literal bool) float64 {
+		var sum float64
+		const trials = 5
+		for seed := uint64(1); seed <= trials; seed++ {
+			r := rng(seed * 31)
+			g := randConnectedGraph(r, 8, 3)
+			cfg := Config{Ranker: NN(), N: 3, HopLimit: 2, LiteralHopFilter: literal}
+			net := buildNetwork(t, r, g, cfg, 6)
+			sum += semiGlobalAccuracy(net, NN(), 2, 3)
+		}
+		return sum / trials
+	}
+	def := measure(false)
+	lit := measure(true)
+	t.Logf("semi-global accuracy: receiver-frame %.3f vs literal %.3f", def, lit)
+	if lit > def {
+		t.Fatalf("literal filter (%v) should not beat the receiver-frame default (%v)", lit, def)
+	}
+}
+
+// TestTrackRedundantPreservesCorrectness: the extra ledger bookkeeping
+// must never change the answer, only (slightly) the traffic.
+func TestTrackRedundantPreservesCorrectness(t *testing.T) {
+	for seed := uint64(1); seed <= 5; seed++ {
+		r := rng(seed * 7)
+		g := randConnectedGraph(r, 9, 5)
+		net := buildNetwork(t, r, g, Config{Ranker: NN(), N: 3, TrackRedundant: true}, 5)
+		want := net.GlobalOutliers(NN(), 3)
+		for _, id := range net.Nodes() {
+			if got := net.Detector(id).Estimate(); !sameIDs(got, want) {
+				t.Fatalf("seed %d node %d: %v want %v", seed, id, idList(got), idList(want))
+			}
+		}
+	}
+}
+
+// TestCountWithinConvergesInNetwork runs the third ranking-function
+// family (DB(α), Knorr-Ng) through the full distributed algorithm.
+func TestCountWithinConvergesInNetwork(t *testing.T) {
+	for seed := uint64(1); seed <= 4; seed++ {
+		r := rng(seed * 13)
+		g := randConnectedGraph(r, 7, 3)
+		rk := CountWithin{Alpha: 30}
+		net := buildNetwork(t, r, g, Config{Ranker: rk, N: 2}, 5)
+		want := net.GlobalOutliers(rk, 2)
+		for _, id := range net.Nodes() {
+			if got := net.Detector(id).Estimate(); !sameIDs(got, want) {
+				t.Fatalf("seed %d node %d: %v want %v", seed, id, idList(got), idList(want))
+			}
+		}
+	}
+}
+
+// TestStepObserveMatchesSeparateEvents: coalescing eviction and
+// observation must leave the detector in the same state as processing
+// them separately (only the transient traffic differs).
+func TestStepObserveMatchesSeparateEvents(t *testing.T) {
+	build := func() *Detector {
+		det, err := NewDetector(Config{Node: 1, Ranker: NN(), N: 2, Window: 10 * time.Second})
+		if err != nil {
+			t.Fatal(err)
+		}
+		det.AddNeighbor(2)
+		for e := 0; e < 4; e++ {
+			det.ObservePoint(NewPoint(1, uint32(e), time.Duration(e)*4*time.Second, float64(e)))
+		}
+		return det
+	}
+	a := build()
+	b := build()
+	p := NewPoint(1, 9, 16*time.Second, 99)
+	a.AdvanceTo(16 * time.Second)
+	a.ObservePoint(p)
+	b.StepObserve(16*time.Second, p)
+	if !a.Holdings().EqualIDs(b.Holdings()) {
+		t.Fatalf("holdings diverge: %v vs %v", a.Holdings(), b.Holdings())
+	}
+	if !sameIDs(a.Estimate(), b.Estimate()) {
+		t.Fatalf("estimates diverge")
+	}
+	if a.Stats().Events != b.Stats().Events+1 {
+		t.Fatalf("StepObserve must save one event: %d vs %d", a.Stats().Events, b.Stats().Events)
+	}
+}
+
+func TestStepObserveRejectsForeignOrigin(t *testing.T) {
+	det, err := NewDetector(Config{Node: 1, Ranker: NN(), N: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("foreign origin must panic")
+		}
+	}()
+	det.StepObserve(0, NewPoint(2, 0, 0, 1))
+}
+
+// TestNoChangeReceiveIsSilent: re-delivering known points must not
+// produce traffic (the optimization is provably behavior-preserving).
+func TestNoChangeReceiveIsSilent(t *testing.T) {
+	det, err := NewDetector(Config{Node: 1, Ranker: NN(), N: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	det.AddNeighbor(2)
+	det.ObserveBatch(0, []float64{0}, []float64{10}, []float64{20}, []float64{30})
+	// A fresh extreme point: its nearest neighbor (30) was never sent,
+	// so the detector must answer with it.
+	pts := []Point{NewPoint(2, 0, 0, 1000)}
+	first := det.Receive(2, pts)
+	if first == nil {
+		t.Fatal("fresh points must trigger a reaction")
+	}
+	if again := det.Receive(2, pts); again != nil {
+		t.Fatalf("duplicate delivery reacted: %v", again)
+	}
+	// Stats still count the event and the received points.
+	if det.Stats().PointsReceived != 2 {
+		t.Fatalf("PointsReceived = %d, want 2", det.Stats().PointsReceived)
+	}
+}
+
+// TestEvictionStats: window eviction is counted.
+func TestEvictionStats(t *testing.T) {
+	det, err := NewDetector(Config{Node: 1, Ranker: NN(), N: 1, Window: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	det.Observe(0, 1)
+	det.Observe(0, 2)
+	det.AdvanceTo(10 * time.Second)
+	if got := det.Stats().Evicted; got != 2 {
+		t.Fatalf("Evicted = %d, want 2", got)
+	}
+	if det.Holdings().Len() != 0 {
+		t.Fatal("window must be empty")
+	}
+}
+
+// TestUnwindowedDetectorKeepsEverything: Window == 0 disables eviction.
+func TestUnwindowedDetectorKeepsEverything(t *testing.T) {
+	det, err := NewDetector(Config{Node: 1, Ranker: NN(), N: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	det.Observe(0, 1)
+	if out := det.AdvanceTo(time.Hour * 24 * 365); out != nil {
+		t.Fatal("no window: advancing must not react")
+	}
+	if det.Holdings().Len() != 1 {
+		t.Fatal("point evicted without a window")
+	}
+}

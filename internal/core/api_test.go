@@ -1,0 +1,157 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestDetectorAccessors(t *testing.T) {
+	cfg := Config{Node: 42, Ranker: KNN{K: 2}, N: 3, Window: time.Minute}
+	det, err := NewDetector(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if det.Node() != 42 {
+		t.Fatalf("Node() = %d", det.Node())
+	}
+	if got := det.Config(); got.N != 3 || got.Window != time.Minute {
+		t.Fatalf("Config() = %+v", got)
+	}
+	det.AdvanceTo(30 * time.Second)
+	if det.Now() != 30*time.Second {
+		t.Fatalf("Now() = %v", det.Now())
+	}
+	// Clocks never run backwards.
+	det.AdvanceTo(10 * time.Second)
+	if det.Now() != 30*time.Second {
+		t.Fatalf("clock regressed to %v", det.Now())
+	}
+}
+
+func TestOwnPointsVersusHoldings(t *testing.T) {
+	det, err := NewDetector(Config{Node: 1, Ranker: NN(), N: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	det.Observe(0, 5)
+	det.Receive(2, []Point{NewPoint(2, 0, 0, 7)})
+	if det.OwnPoints().Len() != 1 {
+		t.Fatalf("D_i = %d, want only the local sample", det.OwnPoints().Len())
+	}
+	if det.Holdings().Len() != 2 {
+		t.Fatalf("P_i = %d, want local + received", det.Holdings().Len())
+	}
+	// Accessors return copies: mutating them must not corrupt the
+	// detector.
+	det.Holdings().Remove(PointID{Origin: 1, Seq: 0})
+	if det.Holdings().Len() != 2 {
+		t.Fatal("Holdings returned shared state")
+	}
+}
+
+func TestEstimateRankedOrdering(t *testing.T) {
+	det, err := NewDetector(Config{Node: 1, Ranker: NN(), N: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	det.ObserveBatch(0, []float64{0}, []float64{1}, []float64{2}, []float64{50}, []float64{100})
+	ranked := det.EstimateRanked()
+	if len(ranked) != 3 {
+		t.Fatalf("got %d ranked outliers", len(ranked))
+	}
+	for i := 1; i < len(ranked); i++ {
+		if ranked[i].Rank > ranked[i-1].Rank {
+			t.Fatalf("ranks not descending: %v", ranked)
+		}
+	}
+	if ranked[0].Point.Value[0] != 100 && ranked[0].Point.Value[0] != 50 {
+		t.Fatalf("top outlier %v", ranked[0].Point)
+	}
+}
+
+// Property: a detector fed any random batch always produces an estimate
+// of size min(N, |P|) and never panics.
+func TestEstimateSizeInvariant(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng(seed)
+		n := 1 + r.IntN(5)
+		det, err := NewDetector(Config{Node: 1, Ranker: KNN{K: 1 + r.IntN(3)}, N: n})
+		if err != nil {
+			return false
+		}
+		count := r.IntN(12)
+		for i := 0; i < count; i++ {
+			det.Observe(0, r.Float64()*100, r.Float64()*100)
+		}
+		want := n
+		if count < n {
+			want = count
+		}
+		return len(det.Estimate()) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: receive is idempotent — delivering the same packet twice
+// leaves holdings identical.
+func TestReceiveIdempotent(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng(seed)
+		det, err := NewDetector(Config{Node: 1, Ranker: NN(), N: 2})
+		if err != nil {
+			return false
+		}
+		det.Observe(0, r.Float64()*10)
+		pts := randPoints(r, 2, 1+r.IntN(8), 2, 100)
+		det.Receive(2, pts)
+		before := det.Holdings()
+		det.Receive(2, pts)
+		return det.Holdings().EqualIDs(before)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConvergenceTrafficScalesWithOutliersNotData checks the paper's
+// headline efficiency claim: doubling the inlier bulk must not double
+// the traffic, because communication is proportional to the outcome.
+func TestConvergenceTrafficScalesWithOutliersNotData(t *testing.T) {
+	run := func(bulk int) int {
+		r := rng(99)
+		net := NewSyncNetwork()
+		for id := NodeID(1); id <= 4; id++ {
+			det, err := NewDetector(Config{Node: id, Ranker: NN(), N: 2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			net.Add(det)
+		}
+		for id := NodeID(1); id < 4; id++ {
+			net.Connect(id, id+1)
+		}
+		for id := NodeID(1); id <= 4; id++ {
+			// A tight inlier cloud per sensor plus one wild point in
+			// the whole network.
+			vals := make([][]float64, 0, bulk)
+			for i := 0; i < bulk; i++ {
+				vals = append(vals, []float64{float64(id)*10 + r.Float64()})
+			}
+			net.ObserveBatch(id, 0, vals...)
+		}
+		net.Observe(1, 0, 10_000)
+		if _, err := net.Settle(100000); err != nil {
+			t.Fatal(err)
+		}
+		return net.PointsSent()
+	}
+	small := run(10)
+	big := run(40)
+	if big > small*2 {
+		t.Fatalf("traffic grew with data bulk: %d → %d points for 4× the inliers", small, big)
+	}
+	t.Logf("traffic: %d points at bulk 10 vs %d at bulk 40 (outcome-proportional)", small, big)
+}

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+func benchSet(b *testing.B, n int) *Set {
+	b.Helper()
+	r := rng(uint64(n))
+	return NewSet(randPoints(r, 1, n, 3, 100)...)
+}
+
+func BenchmarkTopN100(b *testing.B) {
+	set := benchSet(b, 100)
+	rk := KNN{K: 4}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		TopN(rk, set, 4)
+	}
+}
+
+func BenchmarkTopN1000(b *testing.B) {
+	set := benchSet(b, 1000)
+	rk := KNN{K: 4}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		TopN(rk, set, 4)
+	}
+}
+
+func BenchmarkSufficient(b *testing.B) {
+	r := rng(9)
+	set := benchSet(b, 300)
+	shared := set.Filter(func(Point) bool { return r.Float64() < 0.3 })
+	rk := KNN{K: 4}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Sufficient(rk, set, shared, 4)
+	}
+}
+
+func BenchmarkDetectorReceive(b *testing.B) {
+	r := rng(5)
+	det, err := NewDetector(Config{Node: 1, Ranker: KNN{K: 4}, N: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	det.AddNeighbor(2)
+	det.ObserveBatch(0, vectors(r, 50)...)
+	incoming := randPoints(r, 2, 10000, 3, 100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		det.Receive(2, incoming[i%len(incoming):i%len(incoming)+1])
+	}
+}
+
+func vectors(r interface{ Float64() float64 }, n int) [][]float64 {
+	out := make([][]float64, n)
+	for i := range out {
+		out[i] = []float64{r.Float64() * 100, r.Float64() * 100, r.Float64() * 100}
+	}
+	return out
+}
+
+func BenchmarkWireRoundTrip(b *testing.B) {
+	r := rng(4)
+	out := &Outbound{From: 1, Groups: []Group{
+		{To: 2, Points: randPoints(r, 1, 6, 3, 100)},
+		{To: 3, Points: randPoints(r, 1, 6, 3, 100)},
+	}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf, err := EncodeOutbound(out)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := DecodeOutbound(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSyncRound53 measures one full sampling round of the reference
+// runtime at the paper's network size: 53 sensors observe, then the
+// network settles to global agreement (KNN, k=4, n=4, 15-sample window).
+func BenchmarkSyncRound53(b *testing.B) {
+	r := rng(1)
+	net := NewSyncNetwork()
+	var ids []NodeID
+	for i := 1; i <= 53; i++ {
+		id := NodeID(i)
+		ids = append(ids, id)
+		det, err := NewDetector(Config{
+			Node: id, Ranker: KNN{K: 4}, N: 4,
+			Window: 15*31*time.Second - 15*time.Second,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		net.Add(det)
+	}
+	for i := 0; i < 53; i++ {
+		if (i+1)%8 != 0 && i+1 < 53 {
+			net.Connect(ids[i], ids[i+1])
+		}
+		if i+8 < 53 {
+			net.Connect(ids[i], ids[i+8])
+		}
+	}
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		at := time.Duration(n) * 31 * time.Second
+		net.AdvanceTo(at)
+		for _, id := range ids {
+			net.Observe(id, at, r.Float64()*10+20, r.Float64()*50, r.Float64()*50)
+		}
+		if _, err := net.Settle(10_000_000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

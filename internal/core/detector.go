@@ -1,0 +1,546 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Config parameterizes a Detector.
+type Config struct {
+	// Node is the identifier of the sensor this detector runs on.
+	Node NodeID
+
+	// Ranker is the outlier ranking function R. Required.
+	Ranker Ranker
+
+	// N is the number of outliers to detect (the paper's n). Required,
+	// must be positive.
+	N int
+
+	// Window is the length of the time-based sliding window of §5.3.
+	// Zero means no window: points are kept forever.
+	Window time.Duration
+
+	// HopLimit is the paper's hop diameter d for semi-global detection
+	// (Algorithm 2): each sensor detects outliers over the data sampled
+	// within HopLimit hops. Zero selects the global algorithm
+	// (Algorithm 1), i.e. d = ∞.
+	HopLimit int
+
+	// TrackRedundant, when set, records points received from a neighbor
+	// in the D(j→i) ledger even when the point is already held. The
+	// paper's Algorithm 1 only records previously-unseen points; the
+	// extra bookkeeping is sound (the neighbor provably has the point)
+	// and suppresses some redundant retransmissions on cyclic
+	// topologies. Kept as an option so the ablation benchmark can
+	// quantify the difference; off reproduces the paper exactly.
+	TrackRedundant bool
+
+	// DisableFixedPoint skips the Eq. (2) fixed-point closure and sends
+	// only the naive seed On(P) ∪ [P|On(P)] to each neighbor. This
+	// violates Lemma 3 — the network can go quiescent with sensors
+	// disagreeing — and exists only so the ablation benchmark can
+	// quantify what the fixed point buys.
+	DisableFixedPoint bool
+
+	// LiteralHopFilter selects the hop cutoff applied to the per-link
+	// ledgers inside the stratum-h fixed point of Algorithm 2. The
+	// ledgers store hop fields post-increment (the hop a point has at
+	// the receiver), so the paper's literal D^{i,≤h} filter leaves the
+	// stratum-0 shared set permanently empty and the Eq. (2) fixed
+	// point never adapts to the neighbor's data. By default this
+	// implementation therefore filters at ≤ h+1 — the receiver's frame
+	// — which makes each stratum behave like the global algorithm run
+	// pairwise, as §6.1 describes ("in essence, the global outlier
+	// detection algorithm is applied"). Set LiteralHopFilter to follow
+	// the pseudo-code to the letter instead; the ablation benchmark
+	// quantifies the accuracy difference.
+	LiteralHopFilter bool
+}
+
+func (c Config) validate() error {
+	if c.Ranker == nil {
+		return errors.New("core: Config.Ranker is required")
+	}
+	if c.N < 1 {
+		return fmt.Errorf("core: Config.N must be positive, got %d", c.N)
+	}
+	if c.HopLimit < 0 {
+		return fmt.Errorf("core: Config.HopLimit must be non-negative, got %d", c.HopLimit)
+	}
+	if c.HopLimit > 250 {
+		return fmt.Errorf("core: Config.HopLimit %d exceeds the hop-field range", c.HopLimit)
+	}
+	if c.Window < 0 {
+		return fmt.Errorf("core: Config.Window must be non-negative, got %v", c.Window)
+	}
+	return nil
+}
+
+// Group is the portion of a broadcast packet tagged for one recipient.
+type Group struct {
+	To     NodeID
+	Points []Point
+}
+
+// Outbound is the single packet M of Algorithm 1: because wireless
+// transmission is inherently broadcast, all points destined to all
+// immediate neighbors are accumulated into one packet, each tagged with
+// its recipient ID. A neighbor that finds no group tagged with its own ID
+// does not regard receipt as an event.
+type Outbound struct {
+	From   NodeID
+	Groups []Group
+}
+
+// PointCount returns the total number of (recipient, point) pairs carried.
+func (o *Outbound) PointCount() int {
+	if o == nil {
+		return 0
+	}
+	total := 0
+	for _, g := range o.Groups {
+		total += len(g.Points)
+	}
+	return total
+}
+
+// For returns the points tagged for the given node, or nil.
+func (o *Outbound) For(node NodeID) []Point {
+	if o == nil {
+		return nil
+	}
+	for _, g := range o.Groups {
+		if g.To == node {
+			return g.Points
+		}
+	}
+	return nil
+}
+
+// Stats counts detector activity, used by the experiments and the §5.1
+// communication-cost comparison.
+type Stats struct {
+	// Events is the number of events processed (init, data change,
+	// receipt, link change, window eviction).
+	Events int
+	// Broadcasts is the number of non-empty packets produced.
+	Broadcasts int
+	// PointsSent is the total number of (recipient, point) pairs sent.
+	PointsSent int
+	// PointsReceived is the total number of points received.
+	PointsReceived int
+	// Evicted is the number of points aged out of the sliding window.
+	Evicted int
+}
+
+// Detector implements the per-sensor state machine of the paper's global
+// (Algorithm 1) and semi-global (Algorithm 2) in-network outlier
+// detection. It is a pure state machine: every event method returns the
+// packet to broadcast (nil when there is nothing to send) and performs no
+// I/O, no locking and no timekeeping of its own.
+//
+// Detector is not safe for concurrent use; drivers own synchronization
+// (internal/peer wraps it in a single goroutine per sensor).
+type Detector struct {
+	cfg     Config
+	now     time.Duration
+	nextSeq uint32
+
+	own  *Set // D_i: points sampled by this sensor
+	held *Set // P_i: everything currently held
+
+	sent map[NodeID]*Set // D(i→j): points sent to each neighbor
+	recv map[NodeID]*Set // D(j→i): points received from each neighbor
+
+	stats Stats
+}
+
+// NewDetector validates cfg and returns a detector with no neighbors and
+// no data. Call Start to process the paper's initialization event once
+// neighbors are configured.
+func NewDetector(cfg Config) (*Detector, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	return &Detector{
+		cfg:  cfg,
+		own:  NewSet(),
+		held: NewSet(),
+		sent: make(map[NodeID]*Set),
+		recv: make(map[NodeID]*Set),
+	}, nil
+}
+
+// Node returns the sensor ID the detector runs on.
+func (d *Detector) Node() NodeID { return d.cfg.Node }
+
+// Config returns the configuration the detector was built with.
+func (d *Detector) Config() Config { return d.cfg }
+
+// Stats returns a snapshot of the activity counters.
+func (d *Detector) Stats() Stats { return d.stats }
+
+// Now returns the detector's current clock reading.
+func (d *Detector) Now() time.Duration { return d.now }
+
+// Neighbors returns the current immediate neighborhood Γ_i, sorted.
+func (d *Detector) Neighbors() []NodeID {
+	ids := make([]NodeID, 0, len(d.sent))
+	for id := range d.sent {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// Holdings returns a copy of P_i, the set of all points currently held.
+func (d *Detector) Holdings() *Set { return d.held.Clone() }
+
+// OwnPoints returns a copy of D_i, the points sampled by this sensor.
+func (d *Detector) OwnPoints() *Set { return d.own.Clone() }
+
+// Estimate returns the sensor's current outlier estimate On(P_i) in
+// (rank desc, ≺) order.
+func (d *Detector) Estimate() []Point {
+	return TopN(d.cfg.Ranker, d.held, d.cfg.N)
+}
+
+// EstimateRanked returns the current estimate with rank values attached.
+func (d *Detector) EstimateRanked() []Ranked {
+	return TopNRanked(d.cfg.Ranker, d.held, d.cfg.N)
+}
+
+// Start processes the paper's event (i): algorithm initialization. It
+// must be called after the initial neighborhood is configured.
+func (d *Detector) Start() *Outbound {
+	d.stats.Events++
+	return d.react()
+}
+
+// AddNeighbor processes a link-up event for neighbor j (paper event iv).
+// Adding an already-present neighbor is a no-op returning nil.
+func (d *Detector) AddNeighbor(j NodeID) *Outbound {
+	if _, ok := d.sent[j]; ok {
+		return nil
+	}
+	d.sent[j] = NewSet()
+	d.recv[j] = NewSet()
+	d.stats.Events++
+	return d.react()
+}
+
+// RemoveNeighbor processes a link-down event for neighbor j (paper event
+// iv): the per-link ledgers are dropped, while points already received
+// from j remain held and age out of the sliding window as §5.3 suggests.
+// Removing an unknown neighbor is a no-op returning nil.
+func (d *Detector) RemoveNeighbor(j NodeID) *Outbound {
+	if _, ok := d.sent[j]; !ok {
+		return nil
+	}
+	delete(d.sent, j)
+	delete(d.recv, j)
+	d.stats.Events++
+	return d.react()
+}
+
+// Observe samples a new data point with the given feature vector at time
+// birth, assigning the next per-sensor sequence number (paper event ii:
+// D_i changes). It returns the sampled point and the packet to broadcast.
+func (d *Detector) Observe(birth time.Duration, value ...float64) (Point, *Outbound) {
+	p := NewPoint(d.cfg.Node, d.nextSeq, birth, value...)
+	d.nextSeq++
+	return p, d.ObservePoint(p)
+}
+
+// ObserveBatch samples one point per feature vector, all stamped with the
+// same birth time, and processes a single data-change event for the whole
+// batch. Loading initial datasets through ObserveBatch matches the
+// paper's model, where a change to D_i — of any size — is one event.
+func (d *Detector) ObserveBatch(birth time.Duration, values ...[]float64) ([]Point, *Outbound) {
+	pts := make([]Point, len(values))
+	for i, v := range values {
+		p := NewPoint(d.cfg.Node, d.nextSeq, birth, v...)
+		d.nextSeq++
+		d.own.Add(p)
+		d.held.Add(p)
+		pts[i] = p
+	}
+	d.stats.Events++
+	return pts, d.react()
+}
+
+// ObservePoint adds a pre-built point sampled by this sensor to D_i and
+// processes the data-change event. The point's origin must be this node.
+func (d *Detector) ObservePoint(p Point) *Outbound {
+	if p.ID.Origin != d.cfg.Node {
+		panic(fmt.Sprintf("core: ObservePoint origin %d on node %d", p.ID.Origin, d.cfg.Node))
+	}
+	p.Hop = 0
+	if p.ID.Seq >= d.nextSeq {
+		d.nextSeq = p.ID.Seq + 1
+	}
+	d.own.Add(p)
+	d.held.Add(p)
+	d.stats.Events++
+	return d.react()
+}
+
+// Receive processes the points tagged for this sensor in a packet from
+// neighbor j (paper event iii). Points from unknown neighbors establish
+// the link first, mirroring the paper's treatment of sensor addition.
+// A receipt that changes no state — every point already held, at an
+// equal-or-better hop count — provably produces the identical (empty)
+// reaction, so the recomputation is skipped.
+func (d *Detector) Receive(from NodeID, pts []Point) *Outbound {
+	if len(pts) == 0 {
+		return nil
+	}
+	if _, ok := d.sent[from]; !ok {
+		d.sent[from] = NewSet()
+		d.recv[from] = NewSet()
+	}
+	d.stats.Events++
+	d.stats.PointsReceived += len(pts)
+	var changed bool
+	if d.cfg.HopLimit > 0 {
+		changed = d.receiveSemiGlobal(from, pts)
+	} else {
+		changed = d.receiveGlobal(from, pts)
+	}
+	if !changed {
+		return nil
+	}
+	return d.react()
+}
+
+// receiveGlobal is the update step of Algorithm 1: only points not
+// already held are added to P_i and recorded in D(j→i). It reports
+// whether any state changed.
+func (d *Detector) receiveGlobal(from NodeID, pts []Point) bool {
+	changed := false
+	for _, p := range pts {
+		if d.held.Contains(p.ID) {
+			if d.cfg.TrackRedundant && d.recv[from].Add(p) {
+				changed = true
+			}
+			continue
+		}
+		d.held.Add(p)
+		d.recv[from].Add(p)
+		changed = true
+	}
+	return changed
+}
+
+// receiveSemiGlobal is the update step of Algorithm 2: a point replaces a
+// held copy only when it traveled fewer hops, in which case every ledger's
+// copy is lowered too ("updating as needed D_i and D(f→i) for each f").
+// It reports whether any state changed.
+func (d *Detector) receiveSemiGlobal(from NodeID, pts []Point) bool {
+	changed := false
+	for _, p := range pts {
+		held, ok := d.held.Get(p.ID)
+		switch {
+		case !ok:
+			d.held.Add(p)
+			d.recv[from].AddMinHop(p)
+			changed = true
+		case p.Hop < held.Hop:
+			d.held.Add(p)
+			for _, ledger := range d.recv {
+				ledger.SetHop(p.ID, p.Hop)
+			}
+			d.recv[from].AddMinHop(p)
+			changed = true
+		case d.cfg.TrackRedundant:
+			added, lowered := d.recv[from].AddMinHop(p)
+			if added || lowered {
+				changed = true
+			}
+		}
+	}
+	return changed
+}
+
+// AdvanceTo moves the detector clock to now and evicts points that have
+// aged out of the sliding window (§5.3). Evictions count as a data-change
+// event; with nothing evicted there is nothing to send.
+func (d *Detector) AdvanceTo(now time.Duration) *Outbound {
+	if !d.advance(now) {
+		return nil
+	}
+	d.stats.Events++
+	return d.react()
+}
+
+// advance performs the clock move and window eviction, reporting whether
+// anything was evicted.
+func (d *Detector) advance(now time.Duration) bool {
+	if now > d.now {
+		d.now = now
+	}
+	if d.cfg.Window <= 0 {
+		return false
+	}
+	cutoff := d.now - d.cfg.Window
+	// P_i holds every point (own included), so its eviction count is
+	// the authoritative one; the other books are subsets.
+	evicted := d.held.EvictBefore(cutoff)
+	d.own.EvictBefore(cutoff)
+	for _, s := range d.sent {
+		s.EvictBefore(cutoff)
+	}
+	for _, s := range d.recv {
+		s.EvictBefore(cutoff)
+	}
+	d.stats.Evicted += evicted
+	return evicted > 0
+}
+
+// StepObserve advances the clock (evicting expired window contents) and
+// records one new observation, all as a single data-change event with a
+// single reaction. Sensors sampling on a period use this instead of
+// AdvanceTo followed by ObservePoint: the paper's event model treats any
+// change to D_i as one event, and reacting once to the combined change
+// avoids broadcasting an interim estimate that the very next event would
+// supersede.
+func (d *Detector) StepObserve(now time.Duration, p Point) *Outbound {
+	if p.ID.Origin != d.cfg.Node {
+		panic(fmt.Sprintf("core: StepObserve origin %d on node %d", p.ID.Origin, d.cfg.Node))
+	}
+	d.advance(now)
+	p.Hop = 0
+	if p.ID.Seq >= d.nextSeq {
+		d.nextSeq = p.ID.Seq + 1
+	}
+	d.own.Add(p)
+	d.held.Add(p)
+	d.stats.Events++
+	return d.react()
+}
+
+// RemoveOrigin explicitly deletes every held point that originated at the
+// given (removed) sensor, the eager variant of sensor removal sketched in
+// §5.3. The deletion is a data-change event.
+func (d *Detector) RemoveOrigin(origin NodeID) *Outbound {
+	removed := d.held.EvictOrigin(origin)
+	removed += d.own.EvictOrigin(origin)
+	for _, s := range d.sent {
+		s.EvictOrigin(origin)
+	}
+	for _, s := range d.recv {
+		s.EvictOrigin(origin)
+	}
+	if removed == 0 {
+		return nil
+	}
+	d.stats.Events++
+	return d.react()
+}
+
+// react runs the main for-loop of Algorithms 1/2 over every neighbor and
+// assembles the broadcast packet M. The estimate-plus-support seed of
+// Eq. (2) depends only on P_i (or its hop strata), so it is computed once
+// per event and shared across neighbors.
+func (d *Detector) react() *Outbound {
+	out := &Outbound{From: d.cfg.Node}
+	var deltas func(j NodeID) []Point
+	if d.cfg.HopLimit > 0 {
+		strata := d.prepareStrata()
+		deltas = func(j NodeID) []Point { return d.semiGlobalDelta(j, strata) }
+	} else {
+		seed := d.prepareSeed(d.held)
+		deltas = func(j NodeID) []Point { return d.globalDelta(j, seed) }
+	}
+	for _, j := range d.Neighbors() {
+		if delta := deltas(j); len(delta) > 0 {
+			out.Groups = append(out.Groups, Group{To: j, Points: delta})
+			d.stats.PointsSent += len(delta)
+		}
+	}
+	if len(out.Groups) == 0 {
+		return nil
+	}
+	d.stats.Broadcasts++
+	return out
+}
+
+// prepareSeed computes On(P) ∪ [P|On(P)], the neighbor-independent part
+// of Eq. (2).
+func (d *Detector) prepareSeed(set *Set) *Set {
+	estimate := TopN(d.cfg.Ranker, set, d.cfg.N)
+	return NewSet(estimate...).Union(SupportOf(d.cfg.Ranker, set, estimate))
+}
+
+// stratum carries the hop-filtered point set P≤h and its Eq. (2) seed.
+type stratum struct {
+	set  *Set
+	seed *Set
+}
+
+// prepareStrata computes the hop strata P≤h and their seeds for
+// h = 0..HopLimit-1.
+func (d *Detector) prepareStrata() []stratum {
+	strata := make([]stratum, d.cfg.HopLimit)
+	for h := range strata {
+		set := d.held.MaxHop(uint8(h))
+		strata[h] = stratum{set: set, seed: d.prepareSeed(set)}
+	}
+	return strata
+}
+
+// globalDelta computes Z_j \ (D(i→j) ∪ D(j→i)) for one neighbor under
+// Algorithm 1 and records the newly sent points in D(i→j).
+func (d *Detector) globalDelta(j NodeID, seed *Set) []Point {
+	shared := d.sent[j].Union(d.recv[j])
+	z := seed
+	if !d.cfg.DisableFixedPoint {
+		z = sufficientFrom(d.cfg.Ranker, d.held, seed, shared, d.cfg.N)
+	}
+	var delta []Point
+	for _, p := range z.Points() {
+		if shared.Contains(p.ID) {
+			continue
+		}
+		delta = append(delta, p)
+		d.sent[j].Add(p)
+	}
+	return delta
+}
+
+// semiGlobalDelta computes the per-neighbor send set of Algorithm 2: a
+// sufficient set per hop stratum P≤h against the hop-filtered ledgers,
+// hop fields incremented, min-merged across strata, then filtered against
+// anything the ledgers show the neighbor already has at an equal or
+// smaller hop count.
+func (d *Detector) semiGlobalDelta(j NodeID, strata []stratum) []Point {
+	shared := d.sent[j].Union(d.recv[j])
+	merged := NewSet()
+	for h, st := range strata {
+		if st.set.Len() == 0 {
+			continue
+		}
+		cutoff := uint8(h + 1) // receiver frame; see Config.LiteralHopFilter
+		if d.cfg.LiteralHopFilter {
+			cutoff = uint8(h)
+		}
+		sharedH := shared.MaxHop(cutoff)
+		z := sufficientFrom(d.cfg.Ranker, st.set, st.seed, sharedH, d.cfg.N)
+		for _, p := range z.Points() {
+			p.Hop++
+			merged.AddMinHop(p)
+		}
+	}
+	var delta []Point
+	for _, p := range merged.Points() {
+		if prior, ok := shared.Get(p.ID); ok && prior.Hop <= p.Hop {
+			continue
+		}
+		delta = append(delta, p)
+		d.sent[j].AddMinHop(p)
+	}
+	return delta
+}

@@ -1,0 +1,97 @@
+package core
+
+// LOF is the Local Outlier Factor of Breunig, Kriegel, Ng and Sander
+// (SIGMOD 2000), included because the paper names it in §4.1 as a
+// popular ranking function that does NOT satisfy the axioms the
+// distributed algorithm requires: LOF is neither anti-monotone (adding
+// points can raise a score by densifying a point's neighbors' own
+// neighborhoods) nor smooth. TestLOFViolatesAntiMonotonicity
+// demonstrates a concrete violation.
+//
+// LOF therefore deliberately does not implement Ranker, so it cannot be
+// handed to a Detector at all; it is useful for comparing answers
+// offline (LOFScores) and as executable documentation of why the paper's
+// axioms matter.
+type LOF struct {
+	// K is the neighborhood size (MinPts in the original paper). The
+	// zero value is treated as 2.
+	K int
+}
+
+func (l LOF) k() int {
+	if l.K < 2 {
+		return 2
+	}
+	return l.K
+}
+
+// Name implements the same naming convention as the admissible rankers.
+func (l LOF) Name() string { return "LOF" }
+
+// Score returns LOF_k(x) with respect to the dataset (x excluded from
+// its own neighborhood). Points with fewer than k neighbors score 0.
+func (l LOF) Score(x Point, data []Point) float64 {
+	k := l.k()
+	neighbors := kNearest(x, data, k)
+	if len(neighbors) < k {
+		return 0
+	}
+	lrdX := l.lrd(x, data)
+	if lrdX == 0 {
+		return 0
+	}
+	var sum float64
+	for _, o := range neighbors {
+		sum += l.lrd(o, data) / lrdX
+	}
+	return sum / float64(len(neighbors))
+}
+
+// kDistance is the distance to the k-th nearest neighbor of p in data.
+func (l LOF) kDistance(p Point, data []Point) float64 {
+	nn := kNearest(p, data, l.k())
+	if len(nn) == 0 {
+		return 0
+	}
+	return p.Dist(nn[len(nn)-1])
+}
+
+// lrd is the local reachability density of p.
+func (l LOF) lrd(p Point, data []Point) float64 {
+	neighbors := kNearest(p, data, l.k())
+	if len(neighbors) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, o := range neighbors {
+		reach := p.Dist(o)
+		if kd := l.kDistance(o, data); kd > reach {
+			reach = kd
+		}
+		sum += reach
+	}
+	if sum == 0 {
+		return 0
+	}
+	return float64(len(neighbors)) / sum
+}
+
+// LOFScores ranks a whole set by LOF, descending, with the ≺ tie-break —
+// the offline comparison counterpart of TopNRanked.
+func LOFScores(l LOF, set *Set) []Ranked {
+	pts := set.Points()
+	ranked := make([]Ranked, len(pts))
+	for i, x := range pts {
+		ranked[i] = Ranked{Point: x, Rank: l.Score(x, pts)}
+	}
+	for i := 1; i < len(ranked); i++ {
+		for j := i; j > 0; j-- {
+			a, b := ranked[j-1], ranked[j]
+			if a.Rank > b.Rank || (a.Rank == b.Rank && Less(a.Point, b.Point)) {
+				break
+			}
+			ranked[j-1], ranked[j] = b, a
+		}
+	}
+	return ranked
+}

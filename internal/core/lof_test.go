@@ -1,0 +1,89 @@
+package core
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+func TestLOFFlagsTheLocalOutlier(t *testing.T) {
+	// A dense cluster, a sparse cluster, and a point floating between
+	// them: the classic case LOF was invented for. The floater must get
+	// the highest score.
+	var pts []Point
+	seq := uint32(0)
+	add := func(x, y float64) Point {
+		p := NewPoint(1, seq, 0, x, y)
+		seq++
+		pts = append(pts, p)
+		return p
+	}
+	rng := rand.New(rand.NewPCG(1, 1))
+	for i := 0; i < 10; i++ { // dense cluster at (0,0), radius ~0.5
+		add(rng.Float64()*0.5, rng.Float64()*0.5)
+	}
+	for i := 0; i < 10; i++ { // sparse cluster at (20,20), radius ~6
+		add(20+rng.Float64()*6, 20+rng.Float64()*6)
+	}
+	floater := add(4, 4) // just outside the dense cluster
+
+	l := LOF{K: 3}
+	scores := LOFScores(l, NewSet(pts...))
+	if scores[0].Point.ID != floater.ID {
+		t.Fatalf("top LOF = %v (%.2f), want the floater", scores[0].Point.ID, scores[0].Rank)
+	}
+	// Deep cluster members score near 1.
+	for _, r := range scores[len(scores)-5:] {
+		if r.Rank > 1.5 {
+			t.Fatalf("cluster member %v scored %.2f", r.Point.ID, r.Rank)
+		}
+	}
+}
+
+// TestLOFViolatesAntiMonotonicity demonstrates why the paper excludes
+// LOF: adding points to the dataset can RAISE a point's score (by
+// densifying its neighbors' own neighborhoods), violating the
+// R(x,Q1) ≥ R(x,Q2) for Q1 ⊆ Q2 axiom the correctness proofs need.
+func TestLOFViolatesAntiMonotonicity(t *testing.T) {
+	l := LOF{K: 2}
+	seq := uint32(0)
+	mk := func(x, y float64) Point {
+		p := NewPoint(1, seq, 0, x, y)
+		seq++
+		return p
+	}
+	// x sits at distance ~3 from a loose pair; its own neighborhood is
+	// about as sparse as theirs, so LOF ≈ 1.
+	x := mk(0, 0)
+	q1 := []Point{mk(3, 0), mk(3, 2), mk(5, 1)}
+	before := l.Score(x, q1)
+
+	// Densify the region AROUND x's neighbors (not around x): their
+	// lrd soars while x's stays low → x's LOF rises.
+	q2 := append(append([]Point(nil), q1...),
+		mk(3.1, 0.1), mk(2.9, -0.1), mk(3.05, 2.05), mk(2.95, 1.95))
+	after := l.Score(x, q2)
+
+	if after <= before {
+		t.Fatalf("expected a violation: LOF went %v → %v under Q1 ⊆ Q2", before, after)
+	}
+	t.Logf("anti-monotonicity violated as documented: %.3f → %.3f after adding points", before, after)
+}
+
+func TestLOFSmallDatasets(t *testing.T) {
+	l := LOF{}
+	x := NewPoint(1, 0, 0, 0)
+	if got := l.Score(x, nil); got != 0 {
+		t.Fatalf("empty dataset score = %v", got)
+	}
+	if got := l.Score(x, []Point{NewPoint(1, 1, 0, 1)}); got != 0 {
+		t.Fatalf("undersized dataset score = %v", got)
+	}
+	if l.Name() != "LOF" || l.k() != 2 {
+		t.Fatal("LOF defaults")
+	}
+	// Identical points: zero distances must not divide by zero.
+	same := []Point{NewPoint(1, 1, 0, 0), NewPoint(1, 2, 0, 0)}
+	if got := l.Score(x, same); got != 0 {
+		t.Fatalf("coincident points score = %v, want 0 (degenerate density)", got)
+	}
+}

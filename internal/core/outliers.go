@@ -1,0 +1,144 @@
+package core
+
+import "sort"
+
+// Ranked pairs a point with its rank R(x, P) within the dataset it was
+// ranked against.
+type Ranked struct {
+	Point Point
+	Rank  float64
+}
+
+// rankSlice ranks every point of pts against pts \ {x} and returns the
+// result sorted by descending rank with the ≺ tie-break (higher under ≺
+// loses ties, making the ordering total and deterministic). pts must be
+// free of duplicate IDs; rankers exclude a point's own ID themselves.
+// Rank values are insensitive to slice order, so callers need not sort.
+func rankSlice(r Ranker, pts []Point) []Ranked {
+	ranked := make([]Ranked, len(pts))
+	for i, x := range pts {
+		ranked[i] = Ranked{Point: x, Rank: r.Rank(x, pts)}
+	}
+	sort.Slice(ranked, func(i, j int) bool {
+		if ranked[i].Rank != ranked[j].Rank {
+			return ranked[i].Rank > ranked[j].Rank
+		}
+		return Less(ranked[i].Point, ranked[j].Point)
+	})
+	return ranked
+}
+
+// rankAll ranks every point of a set; see rankSlice.
+func rankAll(r Ranker, set *Set) []Ranked {
+	return rankSlice(r, set.Points())
+}
+
+// topNSlice is TopN over a duplicate-free point slice.
+func topNSlice(r Ranker, pts []Point, n int) []Point {
+	if n <= 0 || len(pts) == 0 {
+		return nil
+	}
+	ranked := rankSlice(r, pts)
+	if n > len(ranked) {
+		n = len(ranked)
+	}
+	out := make([]Point, n)
+	for i := 0; i < n; i++ {
+		out[i] = ranked[i].Point
+	}
+	return out
+}
+
+// TopN computes On(P): the n points of P with the highest outlier rank
+// under r, with ties broken by the fixed total order ≺. When P holds
+// fewer than n points, all of them are returned, matching §4.1. The
+// result is in (rank desc, ≺) order.
+func TopN(r Ranker, set *Set, n int) []Point {
+	if n <= 0 || set.Len() == 0 {
+		return nil
+	}
+	ranked := rankAll(r, set)
+	if n > len(ranked) {
+		n = len(ranked)
+	}
+	out := make([]Point, n)
+	for i := 0; i < n; i++ {
+		out[i] = ranked[i].Point
+	}
+	return out
+}
+
+// TopNRanked is TopN but also reports each outlier's rank value.
+func TopNRanked(r Ranker, set *Set, n int) []Ranked {
+	if n <= 0 || set.Len() == 0 {
+		return nil
+	}
+	ranked := rankAll(r, set)
+	if n > len(ranked) {
+		n = len(ranked)
+	}
+	return ranked[:n]
+}
+
+// SupportOf computes [P|Q] = ∪_{x∈Q} [P|x]: the union of the smallest
+// support sets over P of every point in q. Points of q need not belong
+// to P; each is ranked against P \ {x} as in the paper's definition
+// (rankers exclude a point's own ID themselves).
+func SupportOf(r Ranker, set *Set, q []Point) *Set {
+	support := NewSet()
+	pts := set.Points()
+	for _, x := range q {
+		for _, s := range r.Support(x, pts) {
+			support.AddMinHop(s)
+		}
+	}
+	return support
+}
+
+// Sufficient computes a set Z ⊆ P satisfying the paper's Eq. (2) for one
+// neighbor link, where shared = D(i→j) ∪ D(j→i) is everything sensor i
+// knows it has in common with neighbor j:
+//
+//	(On(P) ∪ [P|On(P)]) ∪ [P | On(shared ∪ Z)] ⊆ Z
+//
+// It seeds Z with the local estimate and its support, then iterates
+// Z ← Z ∪ [P|On(shared ∪ Z)] to a fixed point, exactly the two steps of
+// Algorithm 1's inner loop. Z grows monotonically inside the finite P, so
+// the iteration terminates. The result is not guaranteed minimal (nor is
+// the paper's).
+func Sufficient(r Ranker, set, shared *Set, n int) *Set {
+	estimate := TopN(r, set, n)
+	seed := NewSet(estimate...).Union(SupportOf(r, set, estimate))
+	return sufficientFrom(r, set, seed, shared, n)
+}
+
+// sufficientFrom closes seed = On(P) ∪ [P|On(P)] under the Eq. (2) fixed
+// point against one link's shared ledger. Splitting the seed out lets the
+// detector compute it once per event and reuse it for every neighbor.
+// The candidate pool shared ∪ Z is maintained as a deduplicated slice so
+// the iteration allocates no per-step set unions (rank values ignore the
+// hop field, so which duplicate copy survives is immaterial).
+func sufficientFrom(r Ranker, set, seed, shared *Set, n int) *Set {
+	z := seed.Clone()
+	present := make(map[PointID]bool, shared.Len()+z.Len())
+	candidates := make([]Point, 0, shared.Len()+z.Len())
+	add := func(p Point) {
+		if !present[p.ID] {
+			present[p.ID] = true
+			candidates = append(candidates, p)
+		}
+	}
+	shared.ForEach(add)
+	z.ForEach(add)
+	for {
+		approx := topNSlice(r, candidates, n)
+		support := SupportOf(r, set, approx)
+		if support.SubsetOf(z) {
+			return z
+		}
+		support.ForEach(func(p Point) {
+			z.AddMinHop(p)
+			add(p)
+		})
+	}
+}

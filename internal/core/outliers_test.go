@@ -1,0 +1,140 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTopNMatchesBruteForce(t *testing.T) {
+	for _, rk := range axiomRankers() {
+		rk := rk
+		t.Run(rk.Name(), func(t *testing.T) {
+			f := func(seed uint64) bool {
+				r := rng(seed)
+				set := NewSet(randPoints(r, 1, r.IntN(25), 2, 100)...)
+				n := 1 + r.IntN(5)
+				return sameIDs(TopN(rk, set, n), naiveTopN(rk, set, n))
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestTopNHandComputed(t *testing.T) {
+	// 0.5 is far from the rest; 6 is the second loneliest.
+	set := NewSet(line(0.5, 3, 4, 5, 6, 10, 11, 12)...)
+	got := TopN(NN(), set, 2)
+	if len(got) != 2 || got[0].Value[0] != 0.5 {
+		t.Fatalf("TopN = %v, want 0.5 first", idList(got))
+	}
+}
+
+func TestTopNFewerThanN(t *testing.T) {
+	set := NewSet(line(1, 2)...)
+	if got := TopN(NN(), set, 10); len(got) != 2 {
+		t.Fatalf("|On(D)| = %d, want |D| = 2 when |D| < n", len(got))
+	}
+}
+
+func TestTopNEdgeCases(t *testing.T) {
+	if got := TopN(NN(), NewSet(), 3); got != nil {
+		t.Fatalf("TopN on empty set = %v, want nil", got)
+	}
+	if got := TopN(NN(), NewSet(line(1)...), 0); got != nil {
+		t.Fatalf("TopN with n=0 = %v, want nil", got)
+	}
+	if got := TopN(NN(), nil, 3); got != nil {
+		t.Fatalf("TopN on nil set = %v, want nil", got)
+	}
+}
+
+func TestTopNDeterministicUnderInsertionOrder(t *testing.T) {
+	pts := line(5, 1, 9, 3, 7, 0.5)
+	a := TopN(KNN{K: 2}, NewSet(pts...), 3)
+	rev := make([]Point, len(pts))
+	for i, p := range pts {
+		rev[len(pts)-1-i] = p
+	}
+	b := TopN(KNN{K: 2}, NewSet(rev...), 3)
+	if !sameIDs(a, b) {
+		t.Fatalf("insertion order changed the result: %v vs %v", idList(a), idList(b))
+	}
+}
+
+func TestTopNRankedAttachesRanks(t *testing.T) {
+	set := NewSet(line(0, 1, 10)...)
+	got := TopNRanked(NN(), set, 3)
+	if len(got) != 3 {
+		t.Fatalf("len = %d", len(got))
+	}
+	if got[0].Point.Value[0] != 10 || got[0].Rank != 9 {
+		t.Fatalf("top = %v rank %v, want 10 rank 9", got[0].Point, got[0].Rank)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].Rank > got[i-1].Rank {
+			t.Fatalf("ranks not descending: %v", got)
+		}
+	}
+}
+
+func TestSupportOfUnions(t *testing.T) {
+	set := NewSet(line(0, 1, 10, 11, 20)...)
+	// Supports of 0 and 20 under NN: {1} and {11}.
+	q := []Point{set.Points()[0], set.Points()[4]}
+	got := SupportOf(NN(), set, q)
+	if got.Len() != 2 {
+		t.Fatalf("SupportOf len = %d (%v), want 2", got.Len(), got)
+	}
+}
+
+func TestSupportOfExcludesSelf(t *testing.T) {
+	set := NewSet(line(0, 5)...)
+	x := set.Points()[0]
+	sup := SupportOf(NN(), set, []Point{x})
+	if sup.Contains(x.ID) {
+		t.Fatal("a point must not support itself")
+	}
+}
+
+// TestSufficientSatisfiesEq2 is the direct check of the paper's Eq. (2):
+// (On(P) ∪ [P|On(P)]) ∪ [P|On(shared ∪ Z)] ⊆ Z.
+func TestSufficientSatisfiesEq2(t *testing.T) {
+	for _, rk := range axiomRankers() {
+		rk := rk
+		t.Run(rk.Name(), func(t *testing.T) {
+			f := func(seed uint64) bool {
+				r := rng(seed)
+				set := NewSet(randPoints(r, 1, 3+r.IntN(20), 2, 100)...)
+				shared := set.Filter(func(Point) bool { return r.Float64() < 0.3 })
+				n := 1 + r.IntN(4)
+				z := Sufficient(rk, set, shared, n)
+
+				estimate := TopN(rk, set, n)
+				if !NewSet(estimate...).SubsetOf(z) {
+					return false
+				}
+				if !SupportOf(rk, set, estimate).SubsetOf(z) {
+					return false
+				}
+				approx := TopN(rk, shared.Union(z), n)
+				if !SupportOf(rk, set, approx).SubsetOf(z) {
+					return false
+				}
+				return z.SubsetOf(set) // Z ⊆ P_i
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestSufficientOnTinySets(t *testing.T) {
+	set := NewSet(line(1)...)
+	z := Sufficient(NN(), set, NewSet(), 1)
+	if z.Len() != 1 {
+		t.Fatalf("singleton set: Z = %v", z)
+	}
+}

@@ -1,0 +1,146 @@
+// Package core implements the in-network outlier detection algorithms of
+// Branch, Giannella, Szymanski, Wolff and Kargupta, "In-Network Outlier
+// Detection in Wireless Sensor Networks" (ICDCS 2006, extended journal
+// version arXiv:0909.0685).
+//
+// The package provides:
+//
+//   - ranking functions R(x, D) satisfying the paper's anti-monotonicity
+//     and smoothness axioms (Ranker and its implementations),
+//   - top-n outlier computation On(D) with a deterministic tie-break
+//     total order (TopN),
+//   - smallest support sets [P|x] (Ranker.Support, SupportOf),
+//   - the sufficient-set fixed point of Eq. (2) (Sufficient),
+//   - the global detector state machine, Algorithm 1 (Detector),
+//   - the semi-global, hop-bounded detector, Algorithm 2 (Detector with
+//     HopLimit > 0), and
+//   - a compact wire format for the tagged multi-recipient packets the
+//     paper broadcasts (EncodeOutbound, DecodeInbound).
+//
+// Detector is a pure state machine: event methods return the points that
+// must be transmitted and perform no I/O, so the same implementation is
+// driven by the discrete-event simulator (internal/protocol), the live
+// goroutine runtime (internal/peer), and the synchronous test harness.
+package core
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// NodeID identifies a sensor in the network.
+type NodeID uint16
+
+// PointID uniquely identifies a sampled data point network-wide: the
+// sensor that sampled it and the per-sensor sequence number (the "epoch"
+// in the Intel lab dataset's terms). Two points with the same PointID
+// carry the same "rest" fields in the paper's terminology; they may differ
+// only in their hop field.
+type PointID struct {
+	Origin NodeID
+	Seq    uint32
+}
+
+// String implements fmt.Stringer.
+func (id PointID) String() string {
+	return fmt.Sprintf("%d#%d", id.Origin, id.Seq)
+}
+
+// Point is one sensed data observation. Value holds the feature vector the
+// ranking function R operates on (for the paper's evaluation: temperature
+// and the x, y coordinates of the sensor). Hop is the number of network
+// hops the point has traveled, used only by the semi-global algorithm
+// (Algorithm 2); it is zero at birth. Birth is the sample timestamp used
+// for sliding-window eviction.
+type Point struct {
+	ID    PointID
+	Value []float64
+	Hop   uint8
+	Birth time.Duration
+}
+
+// NewPoint builds a point sampled by origin with sequence number seq at
+// time birth. The value slice is copied.
+func NewPoint(origin NodeID, seq uint32, birth time.Duration, value ...float64) Point {
+	v := make([]float64, len(value))
+	copy(v, value)
+	return Point{
+		ID:    PointID{Origin: origin, Seq: seq},
+		Value: v,
+		Birth: birth,
+	}
+}
+
+// Clone returns a deep copy of p (the feature vector is copied).
+func (p Point) Clone() Point {
+	v := make([]float64, len(p.Value))
+	copy(v, p.Value)
+	p.Value = v
+	return p
+}
+
+// Dist returns the Euclidean distance between the feature vectors of p
+// and q. Vectors of different lengths compare over the shorter prefix with
+// the excess coordinates of the longer vector treated as zero, which keeps
+// Dist total; in practice all points in one deployment share a dimension.
+func (p Point) Dist(q Point) float64 {
+	return math.Sqrt(p.dist2(q))
+}
+
+// dist2 returns the squared Euclidean distance, the form the hot
+// selection loops use: ordering by dist2 equals ordering by Dist and
+// skips the square root.
+func (p Point) dist2(q Point) float64 {
+	a, b := p.Value, q.Value
+	if len(a) > len(b) {
+		a, b = b, a
+	}
+	var sum float64
+	for i, av := range a {
+		d := av - b[i]
+		sum += d * d
+	}
+	for _, bv := range b[len(a):] {
+		sum += bv * bv
+	}
+	return sum
+}
+
+// String implements fmt.Stringer.
+func (p Point) String() string {
+	return fmt.Sprintf("{%s h%d %v}", p.ID, p.Hop, p.Value)
+}
+
+// Less is the fixed total linear order ≺ on the data space used as the
+// paper's tie-breaking mechanism. Points are ordered by their feature
+// vector lexicographically, then by origin, then by sequence number. The
+// order is total on any set of points and, combined with rank values,
+// makes R(., Q) injective as §4.1 assumes.
+func Less(a, b Point) bool {
+	na, nb := len(a.Value), len(b.Value)
+	n := na
+	if nb < n {
+		n = nb
+	}
+	for i := 0; i < n; i++ {
+		if a.Value[i] != b.Value[i] {
+			return a.Value[i] < b.Value[i]
+		}
+	}
+	if na != nb {
+		return na < nb
+	}
+	if a.ID.Origin != b.ID.Origin {
+		return a.ID.Origin < b.ID.Origin
+	}
+	return a.ID.Seq < b.ID.Seq
+}
+
+// idLess orders PointIDs; used for deterministic iteration over sets.
+func idLess(a, b PointID) bool {
+	if a.Origin != b.Origin {
+		return a.Origin < b.Origin
+	}
+	return a.Seq < b.Seq
+}

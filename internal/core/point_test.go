@@ -1,0 +1,140 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestNewPointCopiesValue(t *testing.T) {
+	vals := []float64{1, 2, 3}
+	p := NewPoint(7, 42, time.Second, vals...)
+	vals[0] = 99
+	if p.Value[0] != 1 {
+		t.Fatalf("NewPoint aliased the caller's slice: %v", p.Value)
+	}
+	if p.ID != (PointID{Origin: 7, Seq: 42}) {
+		t.Fatalf("unexpected ID %v", p.ID)
+	}
+	if p.Birth != time.Second {
+		t.Fatalf("unexpected Birth %v", p.Birth)
+	}
+	if p.Hop != 0 {
+		t.Fatalf("new point must have hop 0, got %d", p.Hop)
+	}
+}
+
+func TestPointClone(t *testing.T) {
+	p := NewPoint(1, 1, 0, 5, 6)
+	q := p.Clone()
+	q.Value[0] = -1
+	if p.Value[0] != 5 {
+		t.Fatalf("Clone aliased the feature vector")
+	}
+}
+
+func TestDistHandComputed(t *testing.T) {
+	tests := []struct {
+		name string
+		a, b []float64
+		want float64
+	}{
+		{name: "identical", a: []float64{1, 2}, b: []float64{1, 2}, want: 0},
+		{name: "unit x", a: []float64{0, 0}, b: []float64{1, 0}, want: 1},
+		{name: "345", a: []float64{0, 0}, b: []float64{3, 4}, want: 5},
+		{name: "1d", a: []float64{2}, b: []float64{-1}, want: 3},
+		{name: "mixed dims", a: []float64{3}, b: []float64{3, 4}, want: 4},
+		{name: "empty vs point", a: nil, b: []float64{3, 4}, want: 5},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			a := NewPoint(1, 0, 0, tt.a...)
+			b := NewPoint(2, 0, 0, tt.b...)
+			if got := a.Dist(b); math.Abs(got-tt.want) > 1e-12 {
+				t.Fatalf("Dist = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestDistSymmetric(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng(seed)
+		a := randPoint(r, 1, 0, 3, 100)
+		b := randPoint(r, 2, 0, 3, 100)
+		return a.Dist(b) == b.Dist(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDistTriangleInequality(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng(seed)
+		a := randPoint(r, 1, 0, 3, 100)
+		b := randPoint(r, 2, 0, 3, 100)
+		c := randPoint(r, 3, 0, 3, 100)
+		return a.Dist(c) <= a.Dist(b)+b.Dist(c)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLessIsStrictTotalOrder(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng(seed)
+		a := randPoint(r, NodeID(r.IntN(4)), uint32(r.IntN(3)), 2, 4)
+		b := randPoint(r, NodeID(r.IntN(4)), uint32(r.IntN(3)), 2, 4)
+		c := randPoint(r, NodeID(r.IntN(4)), uint32(r.IntN(3)), 2, 4)
+		// Irreflexivity.
+		if Less(a, a) {
+			return false
+		}
+		// Antisymmetry.
+		if Less(a, b) && Less(b, a) {
+			return false
+		}
+		// Transitivity.
+		if Less(a, b) && Less(b, c) && !Less(a, c) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLessTrichotomyOnDistinctIDs(t *testing.T) {
+	a := NewPoint(1, 0, 0, 5, 5)
+	b := NewPoint(2, 0, 0, 5, 5) // identical vector, distinct origin
+	if Less(a, b) == Less(b, a) {
+		t.Fatalf("points with equal vectors must still be strictly ordered by identity")
+	}
+}
+
+func TestLessOrdersByValueFirst(t *testing.T) {
+	low := NewPoint(9, 9, 0, 1, 100)
+	high := NewPoint(1, 1, 0, 2, 0)
+	if !Less(low, high) {
+		t.Fatalf("lexicographic value order must dominate identity")
+	}
+	shorter := NewPoint(1, 1, 0, 1)
+	longer := NewPoint(1, 2, 0, 1, 0)
+	if !Less(shorter, longer) {
+		t.Fatalf("shorter vector with equal prefix must order first")
+	}
+}
+
+func TestStringers(t *testing.T) {
+	p := NewPoint(3, 14, 0, 1.5)
+	if got, want := p.ID.String(), "3#14"; got != want {
+		t.Fatalf("PointID.String() = %q, want %q", got, want)
+	}
+	if p.String() == "" {
+		t.Fatal("Point.String() empty")
+	}
+}

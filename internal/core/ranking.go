@@ -1,0 +1,217 @@
+package core
+
+import "fmt"
+
+// Ranker is the paper's outlier ranking function R. Rank maps a point x
+// and a finite dataset to a non-negative real indicating the degree to
+// which x is an outlier with respect to that dataset; larger means more
+// outlying. Support returns the smallest support set [P|x]: the unique
+// minimal subset Q of the neighbors such that R(x, Q) = R(x, P), with
+// uniqueness obtained from the ≺ tie-break order (see Less).
+//
+// The neighbors argument excludes x itself: callers rank x against
+// P \ {x}. Both methods must treat neighbors as read-only; the slice is
+// sorted by ≺ before the call so implementations are deterministic.
+//
+// Implementations must satisfy the paper's two axioms:
+//
+//	anti-monotonicity: Q1 ⊆ Q2 ⇒ R(x, Q1) ≥ R(x, Q2)
+//	smoothness:        R(x, Q1) > R(x, Q2) with Q1 ⊆ Q2 ⇒
+//	                   ∃ z ∈ Q2\Q1 with R(x, Q1) > R(x, Q1 ∪ {z})
+//
+// All rankers in this package satisfy both (LOF, famously, does not, and
+// is deliberately not provided).
+type Ranker interface {
+	// Name returns a short identifier used in experiment labels.
+	Name() string
+	// Rank returns R(x, neighbors ∪ {x}).
+	Rank(x Point, neighbors []Point) float64
+	// Support returns the smallest support set [P|x] as a subset of
+	// neighbors.
+	Support(x Point, neighbors []Point) []Point
+}
+
+// Compile-time interface compliance checks.
+var (
+	_ Ranker = KNN{}
+	_ Ranker = KthNN{}
+	_ Ranker = CountWithin{}
+)
+
+// MissingNeighborPenalty is the distance charged for each neighbor a
+// k-nearest-neighbor ranker wants but the dataset cannot supply. Using a
+// huge finite penalty instead of +Inf keeps both of the paper's axioms
+// intact on small datasets: a point with too few neighbors is maximally
+// outlying, and every additional neighbor strictly lowers its rank
+// (smoothness), which +Inf would violate. Feature-space distances must be
+// far below this constant; any realistic sensor data is.
+const MissingNeighborPenalty = 1e15
+
+// KNN ranks a point by the average distance to its K nearest neighbors
+// (Angiulli & Pizzuti). With K = 1 it degenerates to the distance to the
+// nearest neighbor, the paper's "NN" configuration. Each missing neighbor
+// (when the dataset holds fewer than K) is charged MissingNeighborPenalty.
+type KNN struct {
+	// K is the number of nearest neighbors averaged over. The zero
+	// value is treated as 1.
+	K int
+}
+
+// NN returns the paper's "NN" ranking function: distance to the single
+// nearest neighbor.
+func NN() KNN { return KNN{K: 1} }
+
+func (r KNN) k() int {
+	if r.K < 1 {
+		return 1
+	}
+	return r.K
+}
+
+// Name implements Ranker.
+func (r KNN) Name() string {
+	if r.k() == 1 {
+		return "NN"
+	}
+	return fmt.Sprintf("KNN%d", r.k())
+}
+
+// Rank implements Ranker: the average distance to the k nearest
+// neighbors, with missing neighbors charged MissingNeighborPenalty.
+func (r KNN) Rank(x Point, neighbors []Point) float64 {
+	k := r.k()
+	nearest := kNearest(x, neighbors, k)
+	sum := float64(k-len(nearest)) * MissingNeighborPenalty
+	for _, p := range nearest {
+		sum += x.Dist(p)
+	}
+	return sum / float64(k)
+}
+
+// Support implements Ranker: the k nearest neighbors themselves (all of
+// the neighbors when fewer than k exist, since every point then
+// constrains the penalized rank).
+func (r KNN) Support(x Point, neighbors []Point) []Point {
+	return kNearest(x, neighbors, r.k())
+}
+
+// KthNN ranks a point by the distance to its K-th nearest neighbor
+// (Ramaswamy, Rastogi & Shim); missing neighbors are charged
+// MissingNeighborPenalty each. Its smallest support set is the full set
+// of K nearest neighbors: dropping any of the closer ones would promote a
+// farther point into the k-th slot and change the rank.
+type KthNN struct {
+	// K selects which nearest neighbor's distance is the rank. The
+	// zero value is treated as 1.
+	K int
+}
+
+func (r KthNN) k() int {
+	if r.K < 1 {
+		return 1
+	}
+	return r.K
+}
+
+// Name implements Ranker.
+func (r KthNN) Name() string { return fmt.Sprintf("%dthNN", r.k()) }
+
+// Rank implements Ranker: distance to the k-th nearest neighbor, with a
+// MissingNeighborPenalty charge per missing neighbor so that every added
+// point strictly lowers an undersupplied rank (smoothness).
+func (r KthNN) Rank(x Point, neighbors []Point) float64 {
+	k := r.k()
+	nearest := kNearest(x, neighbors, k)
+	rank := float64(k-len(nearest)) * MissingNeighborPenalty
+	if len(nearest) > 0 {
+		rank += x.Dist(nearest[len(nearest)-1])
+	}
+	return rank
+}
+
+// Support implements Ranker.
+func (r KthNN) Support(x Point, neighbors []Point) []Point {
+	return kNearest(x, neighbors, r.k())
+}
+
+// CountWithin ranks a point by the inverse of the number of neighbors
+// within distance Alpha (Knorr & Ng's DB(α) outliers): R = 1/(1+c) where
+// c = |{p : dist(x,p) ≤ α}|. Fewer close neighbors ⇒ higher rank.
+// The smallest support set is exactly the neighbors within α — removing
+// any of them changes the count and hence the rank.
+type CountWithin struct {
+	// Alpha is the neighborhood radius.
+	Alpha float64
+}
+
+// Name implements Ranker.
+func (r CountWithin) Name() string { return fmt.Sprintf("DB(%g)", r.Alpha) }
+
+// Rank implements Ranker.
+func (r CountWithin) Rank(x Point, neighbors []Point) float64 {
+	a2 := r.Alpha * r.Alpha
+	count := 0
+	for _, p := range neighbors {
+		if p.ID != x.ID && x.dist2(p) <= a2 {
+			count++
+		}
+	}
+	return 1 / float64(1+count)
+}
+
+// Support implements Ranker.
+func (r CountWithin) Support(x Point, neighbors []Point) []Point {
+	a2 := r.Alpha * r.Alpha
+	var within []Point
+	for _, p := range neighbors {
+		if p.ID != x.ID && x.dist2(p) <= a2 {
+			within = append(within, p)
+		}
+	}
+	return within
+}
+
+// kNearest returns the k points of candidates nearest to x, ties broken
+// by ≺, in (distance, ≺) order. A candidate carrying x's own ID is
+// skipped, so callers may pass sets that still contain x. Selection is
+// O(n·k) by bounded insertion over squared distances, which beats a full
+// sort (and all the square roots) for the small k the rankers use, even
+// on the thousands-of-points sets the centralized baseline ranks.
+func kNearest(x Point, candidates []Point, k int) []Point {
+	type distPoint struct {
+		d2 float64
+		p  Point
+	}
+	closer := func(d2 float64, p Point, than distPoint) bool {
+		if d2 != than.d2 {
+			return d2 < than.d2
+		}
+		return Less(p, than.p)
+	}
+	best := make([]distPoint, 0, k)
+	for _, p := range candidates {
+		if p.ID == x.ID {
+			continue
+		}
+		d2 := x.dist2(p)
+		if len(best) == k && !closer(d2, p, best[k-1]) {
+			continue
+		}
+		i := len(best)
+		if i < k {
+			best = append(best, distPoint{})
+		} else {
+			i = k - 1
+		}
+		for i > 0 && closer(d2, p, best[i-1]) {
+			best[i] = best[i-1]
+			i--
+		}
+		best[i] = distPoint{d2: d2, p: p}
+	}
+	out := make([]Point, len(best))
+	for i, dp := range best {
+		out[i] = dp.p
+	}
+	return out
+}

@@ -1,0 +1,234 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSetAddContainsGetRemove(t *testing.T) {
+	s := NewSet()
+	p := NewPoint(1, 1, 0, 3.5)
+	if !s.Add(p) {
+		t.Fatal("first Add must report a new ID")
+	}
+	if s.Add(p) {
+		t.Fatal("second Add of the same ID must report existing")
+	}
+	if !s.Contains(p.ID) || s.Len() != 1 {
+		t.Fatalf("set should hold exactly the added point, len=%d", s.Len())
+	}
+	got, ok := s.Get(p.ID)
+	if !ok || got.Value[0] != 3.5 {
+		t.Fatalf("Get = %v, %v", got, ok)
+	}
+	if !s.Remove(p.ID) || s.Remove(p.ID) {
+		t.Fatal("Remove must report presence exactly once")
+	}
+	if s.Len() != 0 {
+		t.Fatalf("len after remove = %d", s.Len())
+	}
+}
+
+func TestSetAddMinHop(t *testing.T) {
+	s := NewSet()
+	far := NewPoint(1, 1, 0, 1)
+	far.Hop = 3
+	near := NewPoint(1, 1, 0, 1)
+	near.Hop = 1
+
+	added, lowered := s.AddMinHop(far)
+	if !added || lowered {
+		t.Fatalf("first insert: added=%v lowered=%v", added, lowered)
+	}
+	added, lowered = s.AddMinHop(near)
+	if added || !lowered {
+		t.Fatalf("lower hop must replace: added=%v lowered=%v", added, lowered)
+	}
+	added, lowered = s.AddMinHop(far)
+	if added || lowered {
+		t.Fatalf("higher hop must be ignored: added=%v lowered=%v", added, lowered)
+	}
+	got, _ := s.Get(far.ID)
+	if got.Hop != 1 {
+		t.Fatalf("held hop = %d, want 1", got.Hop)
+	}
+}
+
+func TestSetSetHop(t *testing.T) {
+	s := NewSet()
+	p := NewPoint(1, 1, 0, 1)
+	p.Hop = 5
+	s.Add(p)
+	if !s.SetHop(p.ID, 2) {
+		t.Fatal("SetHop to a lower value must apply")
+	}
+	if s.SetHop(p.ID, 4) {
+		t.Fatal("SetHop to a higher value must not apply")
+	}
+	if s.SetHop(PointID{Origin: 9, Seq: 9}, 0) {
+		t.Fatal("SetHop on a missing ID must not apply")
+	}
+	got, _ := s.Get(p.ID)
+	if got.Hop != 2 {
+		t.Fatalf("hop = %d, want 2", got.Hop)
+	}
+}
+
+func TestNilSetQueries(t *testing.T) {
+	var s *Set
+	if s.Len() != 0 {
+		t.Fatal("nil set Len")
+	}
+	if s.Contains(PointID{}) {
+		t.Fatal("nil set Contains")
+	}
+	if _, ok := s.Get(PointID{}); ok {
+		t.Fatal("nil set Get")
+	}
+	if s.Points() != nil || s.IDs() != nil {
+		t.Fatal("nil set Points/IDs")
+	}
+	if !s.SubsetOf(NewSet()) {
+		t.Fatal("nil set must be a subset of anything")
+	}
+	if s.EvictBefore(time.Hour) != 0 || s.EvictOrigin(1) != 0 {
+		t.Fatal("nil set evictions")
+	}
+	s.ForEach(func(Point) { t.Fatal("nil set ForEach must not call") })
+	if got := s.Clone(); got.Len() != 0 {
+		t.Fatal("nil set Clone must be empty")
+	}
+	if got := s.Union(NewSet(NewPoint(1, 1, 0, 1))); got.Len() != 1 {
+		t.Fatal("nil set Union")
+	}
+}
+
+func TestSetPointsSortedByID(t *testing.T) {
+	s := NewSet(
+		NewPoint(2, 0, 0, 1),
+		NewPoint(1, 5, 0, 2),
+		NewPoint(1, 1, 0, 3),
+		NewPoint(3, 0, 0, 4),
+	)
+	pts := s.Points()
+	for i := 1; i < len(pts); i++ {
+		if !idLess(pts[i-1].ID, pts[i].ID) {
+			t.Fatalf("Points not sorted at %d: %v then %v", i, pts[i-1].ID, pts[i].ID)
+		}
+	}
+}
+
+func TestSetUnionMinMergesHops(t *testing.T) {
+	a := NewPoint(1, 1, 0, 1)
+	a.Hop = 2
+	b := a.Clone()
+	b.Hop = 1
+	u := NewSet(a).Union(NewSet(b), nil)
+	got, _ := u.Get(a.ID)
+	if got.Hop != 1 {
+		t.Fatalf("union hop = %d, want min 1", got.Hop)
+	}
+	if u.Len() != 1 {
+		t.Fatalf("union len = %d, want 1", u.Len())
+	}
+}
+
+func TestSetMaxHop(t *testing.T) {
+	s := NewSet()
+	for h := uint8(0); h < 5; h++ {
+		p := NewPoint(1, uint32(h), 0, float64(h))
+		p.Hop = h
+		s.Add(p)
+	}
+	for h := uint8(0); h < 5; h++ {
+		if got, want := s.MaxHop(h).Len(), int(h)+1; got != want {
+			t.Fatalf("MaxHop(%d) len = %d, want %d", h, got, want)
+		}
+	}
+}
+
+func TestSetEvictBefore(t *testing.T) {
+	s := NewSet(
+		NewPoint(1, 0, 0*time.Second, 1),
+		NewPoint(1, 1, 5*time.Second, 2),
+		NewPoint(1, 2, 10*time.Second, 3),
+	)
+	if got := s.EvictBefore(5 * time.Second); got != 1 {
+		t.Fatalf("evicted %d, want 1 (cutoff is exclusive)", got)
+	}
+	if s.Contains(PointID{Origin: 1, Seq: 0}) {
+		t.Fatal("expired point still held")
+	}
+	if !s.Contains(PointID{Origin: 1, Seq: 1}) {
+		t.Fatal("point born exactly at cutoff must survive")
+	}
+}
+
+func TestSetEvictOrigin(t *testing.T) {
+	s := NewSet(
+		NewPoint(1, 0, 0, 1),
+		NewPoint(2, 0, 0, 2),
+		NewPoint(1, 1, 0, 3),
+	)
+	if got := s.EvictOrigin(1); got != 2 {
+		t.Fatalf("evicted %d, want 2", got)
+	}
+	if s.Len() != 1 || !s.Contains(PointID{Origin: 2, Seq: 0}) {
+		t.Fatalf("wrong survivors: %v", s)
+	}
+}
+
+func TestSetSubsetAndEqual(t *testing.T) {
+	a := NewSet(NewPoint(1, 0, 0, 1), NewPoint(1, 1, 0, 2))
+	b := NewSet(NewPoint(1, 0, 0, 1), NewPoint(1, 1, 0, 2), NewPoint(2, 0, 0, 3))
+	if !a.SubsetOf(b) || b.SubsetOf(a) {
+		t.Fatal("SubsetOf wrong")
+	}
+	if a.EqualIDs(b) {
+		t.Fatal("EqualIDs must compare lengths")
+	}
+	if !a.EqualIDs(a.Clone()) {
+		t.Fatal("clone must compare equal")
+	}
+}
+
+func TestSetString(t *testing.T) {
+	s := NewSet(NewPoint(2, 1, 0, 1), NewPoint(1, 7, 0, 2))
+	if got, want := s.String(), "{1#7 2#1}"; got != want {
+		t.Fatalf("String = %q, want %q", got, want)
+	}
+}
+
+func TestSetCloneIndependence(t *testing.T) {
+	s := NewSet(NewPoint(1, 0, 0, 1))
+	c := s.Clone()
+	c.Add(NewPoint(2, 0, 0, 2))
+	if s.Len() != 1 {
+		t.Fatal("Clone must not share storage")
+	}
+}
+
+// Property: for any two random sets, the union contains exactly the IDs
+// of both, and filtering splits a set into complementary halves.
+func TestSetAlgebraProperties(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng(seed)
+		a := NewSet(randPoints(r, 1, r.IntN(20), 2, 10)...)
+		b := NewSet(randPoints(r, 2, r.IntN(20), 2, 10)...)
+		u := a.Union(b)
+		if u.Len() != a.Len()+b.Len() { // disjoint origins
+			return false
+		}
+		if !a.SubsetOf(u) || !b.SubsetOf(u) {
+			return false
+		}
+		keep := func(p Point) bool { return p.Value[0] < 5 }
+		left := u.Filter(keep)
+		right := u.Filter(func(p Point) bool { return !keep(p) })
+		return left.Len()+right.Len() == u.Len()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

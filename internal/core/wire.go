@@ -1,0 +1,184 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Wire format. Multi-byte integers are big-endian.
+//
+//	packet  := from:uint16  groupCount:uint8  group*
+//	group   := to:uint16    pointCount:uint16 point*
+//	point   := origin:uint16 seq:uint32 hop:uint8 birthMs:uint32
+//	           dim:uint8 value:float64*dim
+//
+// Birth timestamps are encoded in milliseconds, which comfortably covers
+// the simulated deployments (49 days) at far better precision than the
+// sampling period.
+
+// ErrTruncated reports a packet shorter than its own framing claims.
+var ErrTruncated = errors.New("core: truncated packet")
+
+const (
+	pointHeaderSize = 2 + 4 + 1 + 4 + 1
+	groupHeaderSize = 2 + 2
+	packetHeader    = 2 + 1
+)
+
+// EncodedPointSize returns the wire size in bytes of a point with the
+// given feature-vector dimension.
+func EncodedPointSize(dim int) int { return pointHeaderSize + 8*dim }
+
+// EncodedSize returns the wire size of the packet without encoding it,
+// for fast what-if accounting.
+func (o *Outbound) EncodedSize() int {
+	if o == nil {
+		return 0
+	}
+	size := packetHeader
+	for _, g := range o.Groups {
+		size += groupHeaderSize
+		for _, p := range g.Points {
+			size += EncodedPointSize(len(p.Value))
+		}
+	}
+	return size
+}
+
+func appendPoint(buf []byte, p Point) []byte {
+	buf = binary.BigEndian.AppendUint16(buf, uint16(p.ID.Origin))
+	buf = binary.BigEndian.AppendUint32(buf, p.ID.Seq)
+	buf = append(buf, p.Hop)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(p.Birth/time.Millisecond))
+	buf = append(buf, uint8(len(p.Value)))
+	for _, v := range p.Value {
+		buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(v))
+	}
+	return buf
+}
+
+func parsePoint(buf []byte) (Point, []byte, error) {
+	if len(buf) < pointHeaderSize {
+		return Point{}, nil, ErrTruncated
+	}
+	var p Point
+	p.ID.Origin = NodeID(binary.BigEndian.Uint16(buf))
+	p.ID.Seq = binary.BigEndian.Uint32(buf[2:])
+	p.Hop = buf[6]
+	p.Birth = time.Duration(binary.BigEndian.Uint32(buf[7:])) * time.Millisecond
+	dim := int(buf[11])
+	buf = buf[pointHeaderSize:]
+	if len(buf) < 8*dim {
+		return Point{}, nil, ErrTruncated
+	}
+	p.Value = make([]float64, dim)
+	for i := 0; i < dim; i++ {
+		p.Value[i] = math.Float64frombits(binary.BigEndian.Uint64(buf[8*i:]))
+	}
+	return p, buf[8*dim:], nil
+}
+
+// EncodeOutbound serializes the packet M for broadcast.
+func EncodeOutbound(o *Outbound) ([]byte, error) {
+	if o == nil {
+		return nil, errors.New("core: encode nil packet")
+	}
+	if len(o.Groups) > 255 {
+		return nil, fmt.Errorf("core: %d recipient groups exceed the packet format", len(o.Groups))
+	}
+	buf := make([]byte, 0, o.EncodedSize())
+	buf = binary.BigEndian.AppendUint16(buf, uint16(o.From))
+	buf = append(buf, uint8(len(o.Groups)))
+	for _, g := range o.Groups {
+		if len(g.Points) > 65535 {
+			return nil, fmt.Errorf("core: %d points in one group exceed the packet format", len(g.Points))
+		}
+		buf = binary.BigEndian.AppendUint16(buf, uint16(g.To))
+		buf = binary.BigEndian.AppendUint16(buf, uint16(len(g.Points)))
+		for _, p := range g.Points {
+			buf = appendPoint(buf, p)
+		}
+	}
+	return buf, nil
+}
+
+// DecodeOutbound parses a packet produced by EncodeOutbound.
+func DecodeOutbound(buf []byte) (*Outbound, error) {
+	if len(buf) < packetHeader {
+		return nil, ErrTruncated
+	}
+	out := &Outbound{From: NodeID(binary.BigEndian.Uint16(buf))}
+	groups := int(buf[2])
+	buf = buf[packetHeader:]
+	for gi := 0; gi < groups; gi++ {
+		if len(buf) < groupHeaderSize {
+			return nil, ErrTruncated
+		}
+		g := Group{To: NodeID(binary.BigEndian.Uint16(buf))}
+		count := int(binary.BigEndian.Uint16(buf[2:]))
+		buf = buf[groupHeaderSize:]
+		g.Points = make([]Point, 0, count)
+		for pi := 0; pi < count; pi++ {
+			var (
+				p   Point
+				err error
+			)
+			p, buf, err = parsePoint(buf)
+			if err != nil {
+				return nil, fmt.Errorf("core: group %d point %d: %w", gi, pi, err)
+			}
+			g.Points = append(g.Points, p)
+		}
+		out.Groups = append(out.Groups, g)
+	}
+	if len(buf) != 0 {
+		return nil, fmt.Errorf("core: %d trailing bytes after packet", len(buf))
+	}
+	return out, nil
+}
+
+// EncodePoints serializes a bare point list (used by the centralized
+// baseline to ship window contents to the sink).
+func EncodePoints(pts []Point) ([]byte, error) {
+	if len(pts) > 65535 {
+		return nil, fmt.Errorf("core: %d points exceed the packet format", len(pts))
+	}
+	size := 2
+	for _, p := range pts {
+		size += EncodedPointSize(len(p.Value))
+	}
+	buf := make([]byte, 0, size)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(pts)))
+	for _, p := range pts {
+		buf = appendPoint(buf, p)
+	}
+	return buf, nil
+}
+
+// DecodePoints parses a point list produced by EncodePoints.
+func DecodePoints(buf []byte) ([]Point, error) {
+	if len(buf) < 2 {
+		return nil, ErrTruncated
+	}
+	count := int(binary.BigEndian.Uint16(buf))
+	buf = buf[2:]
+	pts := make([]Point, 0, count)
+	for i := 0; i < count; i++ {
+		var (
+			p   Point
+			err error
+		)
+		p, buf, err = parsePoint(buf)
+		if err != nil {
+			return nil, fmt.Errorf("core: point %d: %w", i, err)
+		}
+		pts = append(pts, p)
+	}
+	if len(buf) != 0 {
+		return nil, fmt.Errorf("core: %d trailing bytes after point list", len(buf))
+	}
+	return pts, nil
+}

@@ -1,0 +1,198 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func sampleOutbound() *Outbound {
+	p1 := NewPoint(1, 7, 1500*time.Millisecond, 21.5, 3.25, 9)
+	p1.Hop = 2
+	p2 := NewPoint(40, 0, 0, -1e6)
+	return &Outbound{
+		From: 1,
+		Groups: []Group{
+			{To: 2, Points: []Point{p1, p2}},
+			{To: 5, Points: []Point{p1}},
+			{To: 9, Points: nil},
+		},
+	}
+}
+
+func TestOutboundRoundTrip(t *testing.T) {
+	want := sampleOutbound()
+	buf, err := EncodeOutbound(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeOutbound(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.From != want.From || len(got.Groups) != len(want.Groups) {
+		t.Fatalf("frame mismatch: %+v", got)
+	}
+	for gi, g := range want.Groups {
+		dg := got.Groups[gi]
+		if dg.To != g.To || len(dg.Points) != len(g.Points) {
+			t.Fatalf("group %d mismatch: %+v vs %+v", gi, dg, g)
+		}
+		for pi, p := range g.Points {
+			dp := dg.Points[pi]
+			if dp.ID != p.ID || dp.Hop != p.Hop || dp.Birth != p.Birth {
+				t.Fatalf("point %d/%d mismatch: %+v vs %+v", gi, pi, dp, p)
+			}
+			for vi, v := range p.Value {
+				if dp.Value[vi] != v {
+					t.Fatalf("value %d mismatch: %v vs %v", vi, dp.Value[vi], v)
+				}
+			}
+		}
+	}
+}
+
+func TestEncodedSizeMatches(t *testing.T) {
+	o := sampleOutbound()
+	buf, err := EncodeOutbound(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.EncodedSize() != len(buf) {
+		t.Fatalf("EncodedSize = %d, encoded %d bytes", o.EncodedSize(), len(buf))
+	}
+	if (*Outbound)(nil).EncodedSize() != 0 {
+		t.Fatal("nil packet size")
+	}
+}
+
+func TestDecodeTruncated(t *testing.T) {
+	buf, err := EncodeOutbound(sampleOutbound())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut < len(buf); cut++ {
+		if _, err := DecodeOutbound(buf[:cut]); err == nil {
+			t.Fatalf("decoding %d/%d bytes succeeded", cut, len(buf))
+		} else if !errors.Is(err, ErrTruncated) {
+			t.Fatalf("cut %d: error %v does not wrap ErrTruncated", cut, err)
+		}
+	}
+}
+
+func TestDecodeTrailingGarbage(t *testing.T) {
+	buf, err := EncodeOutbound(sampleOutbound())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeOutbound(append(buf, 0xFF)); err == nil {
+		t.Fatal("trailing bytes must fail decoding")
+	}
+}
+
+func TestEncodeNil(t *testing.T) {
+	if _, err := EncodeOutbound(nil); err == nil {
+		t.Fatal("encoding nil must fail")
+	}
+}
+
+func TestPointsRoundTrip(t *testing.T) {
+	pts := []Point{
+		NewPoint(1, 1, time.Second, 1, 2),
+		NewPoint(2, 9, 0, -5),
+	}
+	buf, err := EncodePoints(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodePoints(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(pts) {
+		t.Fatalf("len %d, want %d", len(got), len(pts))
+	}
+	for i := range pts {
+		if got[i].ID != pts[i].ID || got[i].Value[0] != pts[i].Value[0] {
+			t.Fatalf("point %d mismatch", i)
+		}
+	}
+	// Empty list round-trips too.
+	buf, err = EncodePoints(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err := DecodePoints(buf); err != nil || len(got) != 0 {
+		t.Fatalf("empty round trip: %v %v", got, err)
+	}
+}
+
+func TestBirthMillisecondPrecision(t *testing.T) {
+	p := NewPoint(1, 1, 1234567*time.Microsecond, 1)
+	buf, err := EncodePoints([]Point{p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodePoints(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0].Birth != 1234*time.Millisecond {
+		t.Fatalf("birth = %v, want truncation to 1.234s", got[0].Birth)
+	}
+}
+
+// TestOutboundRoundTripProperty round-trips randomly generated packets.
+func TestOutboundRoundTripProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng(seed)
+		o := &Outbound{From: NodeID(r.IntN(100))}
+		for g := 0; g < r.IntN(4); g++ {
+			grp := Group{To: NodeID(r.IntN(100))}
+			for p := 0; p < r.IntN(6); p++ {
+				pt := randPoint(r, NodeID(r.IntN(100)), uint32(r.IntN(1000)), 1+r.IntN(4), 1000)
+				pt.Hop = uint8(r.IntN(5))
+				pt.Birth = time.Duration(r.IntN(100000)) * time.Millisecond
+				grp.Points = append(grp.Points, pt)
+			}
+			o.Groups = append(o.Groups, grp)
+		}
+		buf, err := EncodeOutbound(o)
+		if err != nil {
+			return false
+		}
+		got, err := DecodeOutbound(buf)
+		if err != nil || got.From != o.From || len(got.Groups) != len(o.Groups) {
+			return false
+		}
+		if got.PointCount() != o.PointCount() {
+			return false
+		}
+		for gi := range o.Groups {
+			for pi, p := range o.Groups[gi].Points {
+				dp := got.Groups[gi].Points[pi]
+				if dp.ID != p.ID || dp.Hop != p.Hop || dp.Birth != p.Birth || len(dp.Value) != len(p.Value) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOutboundFor(t *testing.T) {
+	o := sampleOutbound()
+	if got := o.For(2); len(got) != 2 {
+		t.Fatalf("For(2) = %d points, want 2", len(got))
+	}
+	if got := o.For(77); got != nil {
+		t.Fatalf("For(77) = %v, want nil", got)
+	}
+	if got := (*Outbound)(nil).For(1); got != nil {
+		t.Fatal("nil packet For")
+	}
+}

@@ -1,0 +1,168 @@
+// Package locate implements time-difference-of-arrival (TDOA) acoustic
+// source localization, the paper's §2 motivating application: a set of
+// synchronized sensors register the arrival time of a sound; pairwise
+// arrival-time differences constrain the source to hyperbolas whose
+// intersection pinpoints it. Faulty sensors (clock skew, power
+// degradation, echoes) produce arrival times whose hyperbolas miss the
+// true intersection — exactly the data the in-network outlier detection
+// prunes before this (expensive) solver runs.
+package locate
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// SpeedOfSound is the propagation speed used by the examples, in m/s.
+const SpeedOfSound = 343.0
+
+// Observation is one sensor's registration of the acoustic event.
+type Observation struct {
+	X, Y    float64 // sensor position, meters
+	Arrival float64 // arrival time, seconds
+}
+
+// Result is a localization fix.
+type Result struct {
+	X, Y float64
+	// EmitTime is the estimated emission time of the event.
+	EmitTime float64
+	// Residual is the root-mean-square arrival-time residual in
+	// seconds; large residuals mean inconsistent observations.
+	Residual float64
+	// Iterations is how many Gauss-Newton steps were taken.
+	Iterations int
+}
+
+// Multilaterate solves for the source position (and emission time) that
+// best explains the observations, by Gauss-Newton least squares on the
+// arrival-time model  t_i = t0 + dist(source, sensor_i)/c.
+// At least three observations are required for a 2-D fix.
+func Multilaterate(obs []Observation, c float64) (Result, error) {
+	if len(obs) < 3 {
+		return Result{}, fmt.Errorf("locate: need at least 3 observations, got %d", len(obs))
+	}
+	if c <= 0 {
+		return Result{}, errors.New("locate: propagation speed must be positive")
+	}
+
+	// Initial guess: centroid of the sensors, emission at the earliest
+	// arrival minus a nominal propagation delay.
+	var x, y, tMin float64
+	tMin = math.Inf(1)
+	for _, o := range obs {
+		x += o.X
+		y += o.Y
+		if o.Arrival < tMin {
+			tMin = o.Arrival
+		}
+	}
+	x /= float64(len(obs))
+	y /= float64(len(obs))
+	t0 := tMin - 0.01
+
+	const (
+		maxIter = 100
+		tol     = 1e-12
+	)
+	var iter int
+	for iter = 0; iter < maxIter; iter++ {
+		// Residuals and Jacobian of r_i = t0 + d_i/c - t_i over
+		// parameters (x, y, t0).
+		var jtj [3][3]float64
+		var jtr [3]float64
+		for _, o := range obs {
+			dx := x - o.X
+			dy := y - o.Y
+			d := math.Hypot(dx, dy)
+			if d < 1e-9 {
+				d = 1e-9
+			}
+			r := t0 + d/c - o.Arrival
+			j := [3]float64{dx / (d * c), dy / (d * c), 1}
+			for a := 0; a < 3; a++ {
+				for b := 0; b < 3; b++ {
+					jtj[a][b] += j[a] * j[b]
+				}
+				jtr[a] += j[a] * r
+			}
+		}
+		// Levenberg damping keeps the step sane when the geometry is
+		// poor (nearly collinear sensors).
+		for a := 0; a < 3; a++ {
+			jtj[a][a] *= 1 + 1e-9
+		}
+		step, ok := solve3(jtj, jtr)
+		if !ok {
+			return Result{}, errors.New("locate: degenerate sensor geometry")
+		}
+		x -= step[0]
+		y -= step[1]
+		t0 -= step[2]
+		if step[0]*step[0]+step[1]*step[1]+step[2]*step[2] < tol {
+			break
+		}
+	}
+
+	var sum float64
+	for _, o := range obs {
+		d := math.Hypot(x-o.X, y-o.Y)
+		r := t0 + d/c - o.Arrival
+		sum += r * r
+	}
+	return Result{
+		X:          x,
+		Y:          y,
+		EmitTime:   t0,
+		Residual:   math.Sqrt(sum / float64(len(obs))),
+		Iterations: iter + 1,
+	}, nil
+}
+
+// solve3 solves the 3×3 system A·x = b by Gaussian elimination with
+// partial pivoting.
+func solve3(a [3][3]float64, b [3]float64) ([3]float64, bool) {
+	m := [3][4]float64{}
+	for i := 0; i < 3; i++ {
+		copy(m[i][:3], a[i][:])
+		m[i][3] = b[i]
+	}
+	for col := 0; col < 3; col++ {
+		pivot := col
+		for row := col + 1; row < 3; row++ {
+			if math.Abs(m[row][col]) > math.Abs(m[pivot][col]) {
+				pivot = row
+			}
+		}
+		m[col], m[pivot] = m[pivot], m[col]
+		if math.Abs(m[col][col]) < 1e-18 {
+			return [3]float64{}, false
+		}
+		for row := 0; row < 3; row++ {
+			if row == col {
+				continue
+			}
+			f := m[row][col] / m[col][col]
+			for k := col; k < 4; k++ {
+				m[row][k] -= f * m[col][k]
+			}
+		}
+	}
+	var x [3]float64
+	for i := 0; i < 3; i++ {
+		x[i] = m[i][3] / m[i][i]
+	}
+	return x, true
+}
+
+// ArrivalTime returns the ideal arrival time at a sensor for a source at
+// (sx, sy) emitting at t0.
+func ArrivalTime(sx, sy, t0, sensorX, sensorY, c float64) float64 {
+	return t0 + math.Hypot(sx-sensorX, sy-sensorY)/c
+}
+
+// PositionError returns the distance between the fix and the true source.
+func (r Result) PositionError(trueX, trueY float64) float64 {
+	return math.Hypot(r.X-trueX, r.Y-trueY)
+}

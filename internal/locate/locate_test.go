@@ -1,0 +1,156 @@
+package locate
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+// ring places n sensors on a circle of the given radius.
+func ring(n int, radius float64) [][2]float64 {
+	out := make([][2]float64, n)
+	for i := range out {
+		a := 2 * math.Pi * float64(i) / float64(n)
+		out[i] = [2]float64{radius * math.Cos(a), radius * math.Sin(a)}
+	}
+	return out
+}
+
+func observationsFor(sensors [][2]float64, sx, sy, t0 float64) []Observation {
+	obs := make([]Observation, len(sensors))
+	for i, s := range sensors {
+		obs[i] = Observation{
+			X: s[0], Y: s[1],
+			Arrival: ArrivalTime(sx, sy, t0, s[0], s[1], SpeedOfSound),
+		}
+	}
+	return obs
+}
+
+func TestMultilaterateExact(t *testing.T) {
+	sensors := ring(6, 30)
+	obs := observationsFor(sensors, 4, -7, 0.5)
+	res, err := Multilaterate(obs, SpeedOfSound)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := res.PositionError(4, -7); e > 1e-5 {
+		t.Fatalf("position error %v m on clean data", e)
+	}
+	if math.Abs(res.EmitTime-0.5) > 1e-6 {
+		t.Fatalf("emit time %v, want 0.5", res.EmitTime)
+	}
+	if res.Residual > 1e-9 {
+		t.Fatalf("residual %v on exact data", res.Residual)
+	}
+}
+
+func TestMultilaterateNoisy(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	sensors := ring(8, 25)
+	obs := observationsFor(sensors, -3, 9, 0.1)
+	for i := range obs {
+		obs[i].Arrival += rng.NormFloat64() * 1e-4 // 0.1 ms timing noise
+	}
+	res, err := Multilaterate(obs, SpeedOfSound)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := res.PositionError(-3, 9); e > 0.5 {
+		t.Fatalf("position error %v m with mild noise", e)
+	}
+}
+
+func TestMultilaterateCorruptedSensorRuinsFix(t *testing.T) {
+	sensors := ring(6, 25)
+	obs := observationsFor(sensors, 0, 0, 0)
+	clean, err := Multilaterate(obs, SpeedOfSound)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One sensor with 50 ms of clock skew (17 m of range error).
+	obs[2].Arrival += 0.05
+	dirty, err := Multilaterate(obs, SpeedOfSound)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dirty.PositionError(0, 0) < 4*clean.PositionError(0, 0)+1 {
+		t.Fatalf("corruption should ruin the fix: clean %v m, dirty %v m",
+			clean.PositionError(0, 0), dirty.PositionError(0, 0))
+	}
+	if dirty.Residual < 100*clean.Residual {
+		t.Fatalf("residual must expose the corruption: %v vs %v",
+			dirty.Residual, clean.Residual)
+	}
+}
+
+func TestMultilaterateValidation(t *testing.T) {
+	if _, err := Multilaterate(nil, SpeedOfSound); err == nil {
+		t.Fatal("too few observations must fail")
+	}
+	obs := observationsFor(ring(3, 10), 1, 1, 0)
+	if _, err := Multilaterate(obs, 0); err == nil {
+		t.Fatal("non-positive speed must fail")
+	}
+}
+
+func TestMultilaterateDegenerateGeometry(t *testing.T) {
+	// Perfectly collinear sensors cannot resolve the side of the line;
+	// the solver must either converge to a mirror fix or report
+	// degeneracy, never NaN.
+	obs := []Observation{
+		{X: 0, Y: 0, Arrival: ArrivalTime(5, 7, 0, 0, 0, SpeedOfSound)},
+		{X: 10, Y: 0, Arrival: ArrivalTime(5, 7, 0, 10, 0, SpeedOfSound)},
+		{X: 20, Y: 0, Arrival: ArrivalTime(5, 7, 0, 20, 0, SpeedOfSound)},
+	}
+	res, err := Multilaterate(obs, SpeedOfSound)
+	if err != nil {
+		return // acceptable: reported degeneracy
+	}
+	if math.IsNaN(res.X) || math.IsNaN(res.Y) {
+		t.Fatal("NaN fix on degenerate geometry")
+	}
+	// Mirror solutions (5, ±7) both explain collinear data.
+	if math.Abs(res.X-5) > 0.5 || math.Abs(math.Abs(res.Y)-7) > 0.5 {
+		t.Fatalf("fix (%v, %v) explains nothing", res.X, res.Y)
+	}
+}
+
+// Property: the solver recovers random interior sources from clean data.
+func TestMultilaterateRecoversRandomSources(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, seed))
+		sensors := ring(5+rng.IntN(5), 20+rng.Float64()*20)
+		sx := (rng.Float64() - 0.5) * 20
+		sy := (rng.Float64() - 0.5) * 20
+		t0 := rng.Float64()
+		res, err := Multilaterate(observationsFor(sensors, sx, sy, t0), SpeedOfSound)
+		if err != nil {
+			return false
+		}
+		return res.PositionError(sx, sy) < 0.01
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSolve3(t *testing.T) {
+	// A known system: x=1, y=2, z=3.
+	a := [3][3]float64{{2, 1, 1}, {1, 3, 2}, {1, 0, 0}}
+	b := [3]float64{7, 13, 1}
+	x, ok := solve3(a, b)
+	if !ok {
+		t.Fatal("solvable system reported singular")
+	}
+	for i, want := range []float64{1, 2, 3} {
+		if math.Abs(x[i]-want) > 1e-12 {
+			t.Fatalf("x[%d] = %v, want %v", i, x[i], want)
+		}
+	}
+	// Singular matrix.
+	if _, ok := solve3([3][3]float64{{1, 2, 3}, {2, 4, 6}, {1, 1, 1}}, b); ok {
+		t.Fatal("singular system must be reported")
+	}
+}

@@ -1,0 +1,184 @@
+package peer
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"innet/internal/core"
+)
+
+// Mesh is an in-memory single-hop broadcast fabric for live peers: an
+// undirected neighbor graph where Broadcast delivers a packet to every
+// current neighbor's inbox. It tracks in-flight packets so tests and
+// coordinators can wait for network quiescence.
+type Mesh struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	inboxes  map[core.NodeID]chan Packet
+	adj      map[core.NodeID]map[core.NodeID]bool
+	inFlight int
+	delay    func(from, to core.NodeID) bool // true = drop (loss injection)
+}
+
+// NewMesh returns an empty fabric.
+func NewMesh() *Mesh {
+	m := &Mesh{
+		inboxes: make(map[core.NodeID]chan Packet),
+		adj:     make(map[core.NodeID]map[core.NodeID]bool),
+	}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+// SetLossFunc installs a per-delivery drop predicate (nil disables loss).
+// It must be set before traffic flows.
+func (m *Mesh) SetLossFunc(drop func(from, to core.NodeID) bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.delay = drop
+}
+
+// port is one peer's attachment to the mesh.
+type port struct {
+	mesh *Mesh
+	id   core.NodeID
+	in   chan Packet
+}
+
+var _ Transport = (*port)(nil)
+
+// Attach registers a node and returns its transport. The inbox buffer
+// must absorb bursts: peers consume serially while many neighbors may
+// broadcast at once.
+func (m *Mesh) Attach(id core.NodeID) (Transport, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, dup := m.inboxes[id]; dup {
+		return nil, fmt.Errorf("peer: node %d already attached", id)
+	}
+	in := make(chan Packet, 4096)
+	m.inboxes[id] = in
+	m.adj[id] = make(map[core.NodeID]bool)
+	return &port{mesh: m, id: id, in: in}, nil
+}
+
+// Detach removes a node, closing its inbox and cutting its links.
+func (m *Mesh) Detach(id core.NodeID) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	in, ok := m.inboxes[id]
+	if !ok {
+		return
+	}
+	delete(m.inboxes, id)
+	for other := range m.adj[id] {
+		delete(m.adj[other], id)
+	}
+	delete(m.adj, id)
+	close(in)
+}
+
+// Connect establishes the undirected link a—b.
+func (m *Mesh) Connect(a, b core.NodeID) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if a == b {
+		return errors.New("peer: self link")
+	}
+	if _, ok := m.inboxes[a]; !ok {
+		return fmt.Errorf("peer: unknown node %d", a)
+	}
+	if _, ok := m.inboxes[b]; !ok {
+		return fmt.Errorf("peer: unknown node %d", b)
+	}
+	m.adj[a][b] = true
+	m.adj[b][a] = true
+	return nil
+}
+
+// Disconnect removes the undirected link a—b.
+func (m *Mesh) Disconnect(a, b core.NodeID) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.adj[a]; ok {
+		delete(m.adj[a], b)
+	}
+	if _, ok := m.adj[b]; ok {
+		delete(m.adj[b], a)
+	}
+}
+
+// Neighbors returns the current neighbors of id.
+func (m *Mesh) Neighbors(id core.NodeID) []core.NodeID {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]core.NodeID, 0, len(m.adj[id]))
+	for other := range m.adj[id] {
+		out = append(out, other)
+	}
+	return out
+}
+
+// Broadcast implements Transport for a port.
+func (t *port) Broadcast(ctx context.Context, p Packet) error {
+	m := t.mesh
+	m.mu.Lock()
+	targets := make([]chan Packet, 0, len(m.adj[t.id]))
+	for other := range m.adj[t.id] {
+		if m.delay != nil && m.delay(t.id, other) {
+			continue
+		}
+		targets = append(targets, m.inboxes[other])
+	}
+	m.inFlight += len(targets)
+	m.mu.Unlock()
+
+	for _, ch := range targets {
+		select {
+		case ch <- p:
+		case <-ctx.Done():
+			m.mu.Lock()
+			m.inFlight--
+			m.cond.Broadcast()
+			m.mu.Unlock()
+		}
+	}
+	return nil
+}
+
+// Inbox implements Transport for a port.
+func (t *port) Inbox() <-chan Packet { return t.in }
+
+// PacketDone implements the peer runtime's completion hook: a packet
+// counts as in flight until the receiving peer has fully reacted to it
+// (including broadcasting its own response), so quiescence really means
+// the distributed computation has settled.
+func (t *port) PacketDone() {
+	t.mesh.mu.Lock()
+	t.mesh.inFlight--
+	t.mesh.cond.Broadcast()
+	t.mesh.mu.Unlock()
+}
+
+// WaitQuiescent blocks until no packets are in flight (sent but not yet
+// consumed) or the context expires. Combined with idle peers this means
+// the algorithm has converged.
+func (m *Mesh) WaitQuiescent(ctx context.Context) error {
+	done := make(chan struct{})
+	go func() {
+		m.mu.Lock()
+		for m.inFlight != 0 {
+			m.cond.Wait()
+		}
+		m.mu.Unlock()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

@@ -1,0 +1,221 @@
+// Package peer is the live, concurrent runtime for the in-network outlier
+// detection algorithm: one goroutine per sensor, exchanging the paper's
+// tagged broadcast packets over a pluggable transport. It is the form a
+// real deployment embeds — the discrete-event simulator exists to measure
+// energy, this package exists to run.
+//
+// The core.Detector is single-threaded by design; Peer serializes all
+// events (samples, packets, clock ticks, neighbor changes) through one
+// goroutine, so the algorithm code is shared unmodified with the
+// simulator and the test harness.
+package peer
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"innet/internal/core"
+)
+
+// Packet is one broadcast on the transport.
+type Packet struct {
+	From    core.NodeID
+	Payload []byte
+}
+
+// Transport connects a peer to its single-hop neighborhood.
+type Transport interface {
+	// Broadcast sends the packet to all current neighbors.
+	Broadcast(ctx context.Context, p Packet) error
+	// Inbox returns the channel of packets addressed to this peer's
+	// neighborhood (the mesh closes it when the peer is removed).
+	Inbox() <-chan Packet
+}
+
+// PacketDoner is optionally implemented by transports that track
+// in-flight packets: the peer calls PacketDone after it has fully
+// processed (and reacted to) each inbox packet.
+type PacketDoner interface {
+	PacketDone()
+}
+
+// Config parameterizes one live peer.
+type Config struct {
+	// Detector configures the embedded algorithm (Node included).
+	Detector core.Config
+	// Transport connects the peer to its neighborhood. Required.
+	Transport Transport
+}
+
+// Peer runs one sensor's detector in its own goroutine.
+type Peer struct {
+	cfg Config
+	det *core.Detector
+
+	commands chan func(*core.Detector) *core.Outbound
+
+	mu       sync.Mutex
+	estimate []core.Point
+
+	wg      sync.WaitGroup
+	started bool
+}
+
+// New builds a peer. Call Run to start it.
+func New(cfg Config) (*Peer, error) {
+	if cfg.Transport == nil {
+		return nil, errors.New("peer: Transport is required")
+	}
+	det, err := core.NewDetector(cfg.Detector)
+	if err != nil {
+		return nil, err
+	}
+	return &Peer{
+		cfg:      cfg,
+		det:      det,
+		commands: make(chan func(*core.Detector) *core.Outbound),
+	}, nil
+}
+
+// ID returns the peer's node ID.
+func (p *Peer) ID() core.NodeID { return p.cfg.Detector.Node }
+
+// Run processes events until ctx is canceled. It must be called exactly
+// once; it blocks, so callers usually run it in a goroutine of their own.
+func (p *Peer) Run(ctx context.Context) error {
+	if p.started {
+		return errors.New("peer: Run called twice")
+	}
+	p.started = true
+
+	inbox := p.cfg.Transport.Inbox()
+	for {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case cmd := <-p.commands:
+			p.dispatch(ctx, cmd(p.det))
+		case pkt, ok := <-inbox:
+			if !ok {
+				return nil // removed from the mesh
+			}
+			p.handlePacket(ctx, pkt)
+		}
+	}
+}
+
+func (p *Peer) handlePacket(ctx context.Context, pkt Packet) {
+	if doner, ok := p.cfg.Transport.(PacketDoner); ok {
+		defer doner.PacketDone()
+	}
+	out, err := core.DecodeOutbound(pkt.Payload)
+	if err != nil {
+		return // corrupt packet: drop, as a mote would
+	}
+	pts := out.For(p.det.Node())
+	if len(pts) == 0 {
+		return // not tagged for us: not an event (§5.2)
+	}
+	p.dispatch(ctx, p.det.Receive(out.From, pts))
+}
+
+// dispatch publishes the detector's reaction and refreshes the cached
+// estimate.
+func (p *Peer) dispatch(ctx context.Context, out *core.Outbound) {
+	est := p.det.Estimate()
+	p.mu.Lock()
+	p.estimate = est
+	p.mu.Unlock()
+
+	if out == nil {
+		return
+	}
+	payload, err := core.EncodeOutbound(out)
+	if err != nil {
+		return
+	}
+	// Broadcast without holding the detector loop hostage on a slow
+	// transport is unnecessary here: mesh transports are buffered, and
+	// blocking preserves event ordering.
+	_ = p.cfg.Transport.Broadcast(ctx, Packet{From: p.det.Node(), Payload: payload})
+}
+
+// do runs fn on the detector goroutine and returns once it is processed.
+func (p *Peer) do(ctx context.Context, fn func(*core.Detector) *core.Outbound) error {
+	done := make(chan struct{})
+	wrapped := func(d *core.Detector) *core.Outbound {
+		defer close(done)
+		return fn(d)
+	}
+	select {
+	case p.commands <- wrapped:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Observe feeds a new sample into the peer.
+func (p *Peer) Observe(ctx context.Context, birth time.Duration, value ...float64) error {
+	return p.do(ctx, func(d *core.Detector) *core.Outbound {
+		_, out := d.Observe(birth, value...)
+		return out
+	})
+}
+
+// AdvanceTo moves the peer's clock, evicting expired window contents.
+func (p *Peer) AdvanceTo(ctx context.Context, now time.Duration) error {
+	return p.do(ctx, func(d *core.Detector) *core.Outbound { return d.AdvanceTo(now) })
+}
+
+// AddNeighbor delivers a link-up event.
+func (p *Peer) AddNeighbor(ctx context.Context, j core.NodeID) error {
+	return p.do(ctx, func(d *core.Detector) *core.Outbound { return d.AddNeighbor(j) })
+}
+
+// RemoveNeighbor delivers a link-down event.
+func (p *Peer) RemoveNeighbor(ctx context.Context, j core.NodeID) error {
+	return p.do(ctx, func(d *core.Detector) *core.Outbound { return d.RemoveNeighbor(j) })
+}
+
+// Estimate returns the latest published outlier estimate. It is safe to
+// call from any goroutine.
+func (p *Peer) Estimate() []core.Point {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]core.Point, len(p.estimate))
+	copy(out, p.estimate)
+	return out
+}
+
+// Stats snapshots the detector counters via the event loop (so it is
+// consistent, not torn).
+func (p *Peer) Stats(ctx context.Context) (core.Stats, error) {
+	var stats core.Stats
+	err := p.do(ctx, func(d *core.Detector) *core.Outbound {
+		stats = d.Stats()
+		return nil
+	})
+	return stats, err
+}
+
+var _ fmt.Stringer = PeerState{}
+
+// PeerState is a diagnostic snapshot.
+type PeerState struct {
+	ID       core.NodeID
+	Estimate []core.Point
+}
+
+// String implements fmt.Stringer.
+func (s PeerState) String() string {
+	return fmt.Sprintf("peer %d: %d outliers", s.ID, len(s.Estimate))
+}

@@ -1,0 +1,147 @@
+package peer
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"innet/internal/core"
+)
+
+func TestPeerStats(t *testing.T) {
+	c := startCluster(t, core.Config{Ranker: core.NN(), N: 1}, 2, lineEdges(2))
+	defer c.stop()
+	ctx := context.Background()
+	if err := c.peers[1].Observe(ctx, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.peers[1].Observe(ctx, 0, 100); err != nil {
+		t.Fatal(err)
+	}
+	c.settle(t)
+	stats, err := c.peers[1].Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Events == 0 || stats.PointsSent == 0 {
+		t.Fatalf("stats did not move: %+v", stats)
+	}
+	recv, err := c.peers[2].Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recv.PointsReceived == 0 {
+		t.Fatalf("receiver stats: %+v", recv)
+	}
+}
+
+func TestPeerID(t *testing.T) {
+	mesh := NewMesh()
+	tr, err := mesh.Attach(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := New(Config{Detector: core.Config{Node: 9, Ranker: core.NN(), N: 1}, Transport: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.ID() != 9 {
+		t.Fatalf("ID() = %d", p.ID())
+	}
+}
+
+func TestPeerRunTwiceFails(t *testing.T) {
+	mesh := NewMesh()
+	tr, err := mesh.Attach(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := New(Config{Detector: core.Config{Node: 1, Ranker: core.NN(), N: 1}, Transport: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- p.Run(ctx) }()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	if err := <-done; err == nil {
+		t.Fatal("canceled Run must return the context error")
+	}
+	if err := p.Run(context.Background()); err == nil {
+		t.Fatal("second Run must fail")
+	}
+}
+
+func TestPeerCommandAfterCancel(t *testing.T) {
+	mesh := NewMesh()
+	tr, err := mesh.Attach(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := New(Config{Detector: core.Config{Node: 1, Ranker: core.NN(), N: 1}, Transport: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = p.Run(ctx)
+	}()
+	cancel()
+	<-done
+	// A command against a dead peer fails via its own context rather
+	// than hanging.
+	cctx, ccancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer ccancel()
+	if err := p.Observe(cctx, 0, 1); err == nil {
+		t.Fatal("command against a stopped peer must time out")
+	}
+}
+
+func TestMeshDetachClosesInbox(t *testing.T) {
+	mesh := NewMesh()
+	tr, err := mesh.Attach(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := New(Config{Detector: core.Config{Node: 1, Ranker: core.NN(), N: 1}, Transport: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- p.Run(context.Background()) }()
+	time.Sleep(10 * time.Millisecond)
+	mesh.Detach(1)
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Run returned %v on detach, want nil", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("peer did not exit after detach")
+	}
+}
+
+func TestMeshNeighbors(t *testing.T) {
+	mesh := NewMesh()
+	for id := core.NodeID(1); id <= 3; id++ {
+		if _, err := mesh.Attach(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := mesh.Connect(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := mesh.Connect(1, 3); err != nil {
+		t.Fatal(err)
+	}
+	if got := mesh.Neighbors(1); len(got) != 2 {
+		t.Fatalf("Neighbors(1) = %v", got)
+	}
+	mesh.Disconnect(1, 2)
+	if got := mesh.Neighbors(1); len(got) != 1 || got[0] != 3 {
+		t.Fatalf("after disconnect: %v", got)
+	}
+}

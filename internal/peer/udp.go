@@ -1,0 +1,144 @@
+package peer
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// UDPTransport carries the algorithm's broadcast packets over UDP
+// datagrams — the real-deployment transport. Every peer binds one socket
+// and unicasts each "broadcast" to its current single-hop neighbor list
+// (radio broadcast emulated over an IP network; on a real mote network
+// the MAC layer does this in one transmission).
+//
+// Datagrams carry the encoded core packet as-is: the recipient identifies
+// the sender from the payload's From field, so no extra framing is
+// needed. Packets that fail to decode are dropped by the peer, exactly
+// like corrupted radio frames.
+type UDPTransport struct {
+	conn  *net.UDPConn
+	inbox chan Packet
+
+	mu        sync.Mutex
+	neighbors map[string]*net.UDPAddr
+	closed    bool
+
+	readerDone chan struct{}
+}
+
+var _ Transport = (*UDPTransport)(nil)
+
+// NewUDPTransport binds listenAddr (e.g. "127.0.0.1:0") and starts
+// receiving. Close releases the socket and closes the inbox.
+func NewUDPTransport(listenAddr string) (*UDPTransport, error) {
+	addr, err := net.ResolveUDPAddr("udp", listenAddr)
+	if err != nil {
+		return nil, fmt.Errorf("peer: resolve %q: %w", listenAddr, err)
+	}
+	conn, err := net.ListenUDP("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("peer: listen %q: %w", listenAddr, err)
+	}
+	t := &UDPTransport{
+		conn:       conn,
+		inbox:      make(chan Packet, 1024),
+		neighbors:  make(map[string]*net.UDPAddr),
+		readerDone: make(chan struct{}),
+	}
+	go t.readLoop()
+	return t, nil
+}
+
+// Addr returns the bound local address (useful with port 0).
+func (t *UDPTransport) Addr() string { return t.conn.LocalAddr().String() }
+
+// AddNeighbor starts delivering broadcasts to the peer at addr.
+func (t *UDPTransport) AddNeighbor(addr string) error {
+	udpAddr, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return fmt.Errorf("peer: resolve neighbor %q: %w", addr, err)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return errors.New("peer: transport closed")
+	}
+	t.neighbors[udpAddr.String()] = udpAddr
+	return nil
+}
+
+// RemoveNeighbor stops delivering to addr.
+func (t *UDPTransport) RemoveNeighbor(addr string) {
+	udpAddr, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	delete(t.neighbors, udpAddr.String())
+}
+
+// Broadcast implements Transport: one datagram per current neighbor.
+func (t *UDPTransport) Broadcast(ctx context.Context, p Packet) error {
+	t.mu.Lock()
+	targets := make([]*net.UDPAddr, 0, len(t.neighbors))
+	for _, a := range t.neighbors {
+		targets = append(targets, a)
+	}
+	closed := t.closed
+	t.mu.Unlock()
+	if closed {
+		return errors.New("peer: transport closed")
+	}
+	var firstErr error
+	for _, target := range targets {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if _, err := t.conn.WriteToUDP(p.Payload, target); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// Inbox implements Transport.
+func (t *UDPTransport) Inbox() <-chan Packet { return t.inbox }
+
+// Close releases the socket; the inbox closes once the reader drains,
+// which terminates the peer's Run loop.
+func (t *UDPTransport) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	t.mu.Unlock()
+	err := t.conn.Close()
+	<-t.readerDone
+	close(t.inbox)
+	return err
+}
+
+func (t *UDPTransport) readLoop() {
+	defer close(t.readerDone)
+	buf := make([]byte, 64*1024)
+	for {
+		n, _, err := t.conn.ReadFromUDP(buf)
+		if err != nil {
+			return // socket closed
+		}
+		payload := make([]byte, n)
+		copy(payload, buf[:n])
+		select {
+		case t.inbox <- Packet{Payload: payload}:
+		default:
+			// Inbox overflow: drop, like a saturated radio. The
+			// algorithm tolerates loss (stale knowledge ages out).
+		}
+	}
+}

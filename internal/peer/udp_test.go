@@ -1,0 +1,183 @@
+package peer
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"innet/internal/core"
+)
+
+// udpPair spins up two live peers talking over loopback UDP.
+func udpPair(t *testing.T) (a, b *Peer, ta, tb *UDPTransport, stop func()) {
+	t.Helper()
+	var err error
+	ta, err = NewUDPTransport("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, err = NewUDPTransport("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ta.AddNeighbor(tb.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.AddNeighbor(ta.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	mk := func(id core.NodeID, tr Transport) *Peer {
+		p, err := New(Config{
+			Detector:  core.Config{Node: id, Ranker: core.NN(), N: 1},
+			Transport: tr,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	a, b = mk(1, ta), mk(2, tb)
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	for _, p := range []*Peer{a, b} {
+		p := p
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = p.Run(ctx)
+		}()
+	}
+	stop = func() {
+		cancel()
+		wg.Wait()
+		_ = ta.Close()
+		_ = tb.Close()
+	}
+	return a, b, ta, tb, stop
+}
+
+// waitFor polls until cond holds or the deadline passes.
+func waitFor(t *testing.T, d time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("condition not met before deadline")
+}
+
+func TestUDPPeersConverge(t *testing.T) {
+	a, b, _, _, stop := udpPair(t)
+	defer stop()
+
+	ctx := context.Background()
+	if err := a.AddNeighbor(ctx, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddNeighbor(ctx, 1); err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []float64{1, 2, 3} {
+		if err := a.Observe(ctx, 0, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, v := range []float64{4, 5, 100} {
+		if err := b.Observe(ctx, 0, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	want := core.PointID{Origin: 2, Seq: 2} // the 100 reading
+	waitFor(t, 5*time.Second, func() bool {
+		ea, eb := a.Estimate(), b.Estimate()
+		return len(ea) == 1 && len(eb) == 1 && ea[0].ID == want && eb[0].ID == want
+	})
+}
+
+func TestUDPTransportNeighborManagement(t *testing.T) {
+	tr, err := NewUDPTransport("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	if err := tr.AddNeighbor("not an address"); err == nil {
+		t.Fatal("bad neighbor address must fail")
+	}
+	if err := tr.AddNeighbor("127.0.0.1:9"); err != nil {
+		t.Fatal(err)
+	}
+	tr.RemoveNeighbor("127.0.0.1:9")
+	// Broadcast with no neighbors is a no-op.
+	if err := tr.Broadcast(context.Background(), Packet{Payload: []byte{1}}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUDPTransportCloseTerminatesPeer(t *testing.T) {
+	tr, err := NewUDPTransport("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := New(Config{
+		Detector:  core.Config{Node: 1, Ranker: core.NN(), N: 1},
+		Transport: tr,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- p.Run(context.Background()) }()
+	time.Sleep(20 * time.Millisecond)
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Run returned %v on closed inbox, want nil", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("peer did not terminate after transport close")
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal("double close must be a no-op")
+	}
+	if err := tr.Broadcast(context.Background(), Packet{}); err == nil {
+		t.Fatal("broadcast after close must fail")
+	}
+	if err := tr.AddNeighbor("127.0.0.1:9"); err == nil {
+		t.Fatal("add neighbor after close must fail")
+	}
+}
+
+func TestUDPDropsGarbageDatagrams(t *testing.T) {
+	a, b, ta, _, stop := udpPair(t)
+	defer stop()
+	ctx := context.Background()
+	if err := a.AddNeighbor(ctx, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddNeighbor(ctx, 1); err != nil {
+		t.Fatal(err)
+	}
+	// Spray garbage at b through a's socket; the peer must survive.
+	for i := 0; i < 50; i++ {
+		if err := ta.Broadcast(ctx, Packet{Payload: []byte{0xFF, 0x00, byte(i)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, v := range []float64{1, 2, 1000} {
+		if err := a.Observe(ctx, 0, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, 5*time.Second, func() bool {
+		eb := b.Estimate()
+		return len(eb) == 1 && eb[0].Value[0] == 1000
+	})
+}

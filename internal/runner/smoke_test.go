@@ -1,0 +1,131 @@
+package runner
+
+import (
+	"testing"
+	"time"
+)
+
+// quickCfg is a small-but-real experiment cell for tests. The window
+// stays inside the paper's sweep domain (w ≥ 10), where the distributed
+// algorithm's cost advantage holds.
+func quickCfg(algo Algorithm) Config {
+	return Config{
+		Algo:          algo,
+		Ranker:        RankNN,
+		N:             2,
+		WindowSamples: 10,
+		HopLimit:      1,
+		Nodes:         12,
+		Period:        10 * time.Second,
+		Duration:      300 * time.Second,
+		Seeds:         []uint64{1},
+		AccuracyEvery: 3,
+	}
+}
+
+func TestRunGlobalSmoke(t *testing.T) {
+	res, err := Run(quickCfg(AlgoGlobal))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AvgTxJPerRound <= 0 || res.AvgRxJPerRound <= 0 {
+		t.Fatalf("no energy recorded: %+v", res)
+	}
+	if res.Accuracy < 0.6 {
+		t.Fatalf("global accuracy %v implausibly low", res.Accuracy)
+	}
+	if res.PointsSent == 0 {
+		t.Fatal("distributed run sent no points")
+	}
+	if res.MinTotalJ > res.AvgTotalJ || res.AvgTotalJ > res.MaxTotalJ {
+		t.Fatalf("energy ordering violated: %+v", res)
+	}
+}
+
+func TestRunSemiGlobalSmoke(t *testing.T) {
+	res, err := Run(quickCfg(AlgoSemiGlobal))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Accuracy < 0.5 {
+		t.Fatalf("semi-global accuracy %v implausibly low", res.Accuracy)
+	}
+}
+
+func TestRunCentralizedSmoke(t *testing.T) {
+	res, err := Run(quickCfg(AlgoCentralized))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Accuracy < 0.5 {
+		t.Fatalf("centralized accuracy %v implausibly low", res.Accuracy)
+	}
+	// The sink's relaying must make the busiest node far hotter than
+	// the mean (§8: the sink area carries the whole network's traffic;
+	// the imbalance grows with network size — ≈3× at 53 nodes, ≈2× at
+	// this 12-node scale).
+	if res.SinkFrames < 1.5*res.FramesSent/float64(res.Config.Nodes) {
+		t.Fatalf("no sink hot spot: max %v vs mean %v",
+			res.SinkFrames, res.FramesSent/float64(res.Config.Nodes))
+	}
+}
+
+func TestCentralizedCostsMoreThanGlobal(t *testing.T) {
+	global, err := Run(quickCfg(AlgoGlobal))
+	if err != nil {
+		t.Fatal(err)
+	}
+	central, err := Run(quickCfg(AlgoCentralized))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if central.AvgTxJPerRound <= global.AvgTxJPerRound {
+		t.Fatalf("paper's headline result inverted: centralized TX %v <= global TX %v",
+			central.AvgTxJPerRound, global.AvgTxJPerRound)
+	}
+}
+
+func TestMakeRanker(t *testing.T) {
+	if _, err := MakeRanker("bogus", 1); err == nil {
+		t.Fatal("unknown ranker must fail")
+	}
+	r, err := MakeRanker(RankKNN, 0)
+	if err != nil || r.Name() != "KNN4" {
+		t.Fatalf("KNN default k: %v %v", r, err)
+	}
+	r, err = MakeRanker(RankNN, 9)
+	if err != nil || r.Name() != "NN" {
+		t.Fatalf("NN: %v %v", r, err)
+	}
+}
+
+func TestAlgorithmString(t *testing.T) {
+	if AlgoCentralized.String() != "Centralized" || AlgoGlobal.String() != "Global" ||
+		AlgoSemiGlobal.String() != "Semi-global" {
+		t.Fatal("algorithm names")
+	}
+	if Algorithm(99).String() == "" {
+		t.Fatal("unknown algorithm must format")
+	}
+}
+
+// TestLifetimeImbalance checks §8's closing argument: under the
+// centralized protocol the hottest (sink-region) node exhausts its
+// battery while the median node has spent only a small fraction of its
+// own — far smaller than under the distributed algorithm.
+func TestLifetimeImbalance(t *testing.T) {
+	central, err := Run(quickCfg(AlgoCentralized))
+	if err != nil {
+		t.Fatal(err)
+	}
+	global, err := Run(quickCfg(AlgoGlobal))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("median battery used at first death: centralized %.2f, global %.2f",
+		central.MedianTxAtDeath, global.MedianTxAtDeath)
+	if central.MedianTxAtDeath >= global.MedianTxAtDeath {
+		t.Fatalf("centralization must waste the network: centralized %.2f >= global %.2f",
+			central.MedianTxAtDeath, global.MedianTxAtDeath)
+	}
+}

@@ -1,0 +1,539 @@
+package wsn
+
+import (
+	"encoding/binary"
+	"time"
+
+	"innet/internal/core"
+)
+
+// Payload type bytes multiplexing protocols over link frames.
+const (
+	payloadRREQ byte = 1 + iota
+	payloadRREP
+	payloadRERR
+	payloadData
+	payloadE2EAck
+	payloadFlood
+	payloadDataNoE2E
+	// PayloadPoints tags the distributed algorithm's point packets
+	// (encoded core.Outbound).
+	PayloadPoints byte = 16
+	// PayloadPointsAck acknowledges receipt of a tagged group in a
+	// PayloadPoints packet (the paper's "message reliability assurance
+	// mechanisms" on single-hop links).
+	PayloadPointsAck byte = 17
+)
+
+const (
+	aodvMaxTTL        = 32
+	aodvRREQRetries   = 3
+	aodvRREQTimeout   = 1500 * time.Millisecond
+	aodvE2ERetries    = 2
+	aodvE2ETimeout    = 4 * time.Second
+	aodvMaxQueuedSend = 512
+)
+
+// routeEntry is one AODV forwarding-table row.
+type routeEntry struct {
+	nextHop core.NodeID
+	hops    int
+	seqNo   uint32
+	valid   bool
+}
+
+type rreqKey struct {
+	orig core.NodeID
+	id   uint32
+}
+
+type dataKey struct {
+	orig core.NodeID
+	seq  uint32
+}
+
+// pendingSend is an application payload waiting for a route or an
+// end-to-end acknowledgment.
+type pendingSend struct {
+	dst      core.NodeID
+	seq      uint32
+	payload  []byte
+	onResult func(bool)
+	retries  int
+	timerGen uint64
+}
+
+// RouterStats counts routing-layer activity.
+type RouterStats struct {
+	RREQsSent     int
+	RREPsSent     int
+	RERRsSent     int
+	DataForwarded int
+	DataDelivered int
+	DataFailed    int
+}
+
+// Router implements compact AODV (RFC 3561 in spirit): on-demand route
+// discovery via RREQ floods, reverse-path RREPs with destination sequence
+// numbers, RERRs on next-hop failure, hop-by-hop acknowledged unicast
+// forwarding, and an end-to-end acknowledgment with bounded retry, as the
+// paper's centralized baseline requires.
+type Router struct {
+	node    *Node
+	deliver func(src core.NodeID, payload []byte)
+
+	seqNo   uint32
+	rreqID  uint32
+	dataSeq uint32
+
+	routes     map[core.NodeID]*routeEntry
+	seenRREQ   map[rreqKey]bool
+	seenData   map[dataKey]bool
+	waiting    map[core.NodeID][]*pendingSend // buffered until a route exists
+	pendingE2E map[uint32]*pendingSend
+	discovery  map[core.NodeID]int // outstanding RREQ attempts per destination
+
+	stats RouterStats
+}
+
+// NewRouter attaches a router to the node. deliver is invoked for every
+// application payload that reaches this node as its final destination.
+func NewRouter(n *Node, deliver func(src core.NodeID, payload []byte)) *Router {
+	return &Router{
+		node:       n,
+		deliver:    deliver,
+		routes:     make(map[core.NodeID]*routeEntry),
+		seenRREQ:   make(map[rreqKey]bool),
+		seenData:   make(map[dataKey]bool),
+		waiting:    make(map[core.NodeID][]*pendingSend),
+		pendingE2E: make(map[uint32]*pendingSend),
+		discovery:  make(map[core.NodeID]int),
+	}
+}
+
+// Stats returns a snapshot of the router's counters.
+func (r *Router) Stats() RouterStats { return r.stats }
+
+// Send routes payload to dst with end-to-end acknowledgment. onResult, if
+// non-nil, fires exactly once: true when the destination acknowledged,
+// false when discovery or delivery ultimately failed.
+func (r *Router) Send(dst core.NodeID, payload []byte, onResult func(bool)) {
+	if dst == r.node.ID {
+		r.deliver(r.node.ID, payload)
+		if onResult != nil {
+			onResult(true)
+		}
+		return
+	}
+	r.dataSeq++
+	ps := &pendingSend{dst: dst, seq: r.dataSeq, payload: payload, onResult: onResult}
+	r.pendingE2E[ps.seq] = ps
+	r.dispatch(ps)
+}
+
+// SendBestEffort routes payload to dst relying on hop-by-hop link
+// acknowledgments only: no end-to-end ack, no end-to-end retry. Periodic
+// traffic whose next round supersedes this one (the baseline's window
+// shipments) must use this — end-to-end retries of superseded data only
+// amplify congestion.
+func (r *Router) SendBestEffort(dst core.NodeID, payload []byte) {
+	if dst == r.node.ID {
+		r.deliver(r.node.ID, payload)
+		return
+	}
+	r.dataSeq++
+	if route, ok := r.routes[dst]; ok && route.valid {
+		r.forwardRaw(payloadDataNoE2E, r.node.ID, dst, r.dataSeq, aodvMaxTTL, payload)
+		return
+	}
+	if len(r.waiting[dst]) >= aodvMaxQueuedSend {
+		r.stats.DataFailed++
+		return
+	}
+	r.waiting[dst] = append(r.waiting[dst], &pendingSend{dst: dst, seq: r.dataSeq, payload: payload, retries: -1})
+	r.discover(dst, 0)
+}
+
+// dispatch forwards ps if a route exists, otherwise starts discovery.
+func (r *Router) dispatch(ps *pendingSend) {
+	if route, ok := r.routes[ps.dst]; ok && route.valid {
+		r.forwardData(r.node.ID, ps.dst, ps.seq, aodvMaxTTL, ps.payload)
+		r.armE2ETimer(ps)
+		return
+	}
+	if len(r.waiting[ps.dst]) >= aodvMaxQueuedSend {
+		r.fail(ps)
+		return
+	}
+	r.waiting[ps.dst] = append(r.waiting[ps.dst], ps)
+	r.discover(ps.dst, 0)
+}
+
+func (r *Router) fail(ps *pendingSend) {
+	delete(r.pendingE2E, ps.seq)
+	r.stats.DataFailed++
+	if ps.onResult != nil {
+		cb := ps.onResult
+		ps.onResult = nil
+		cb(false)
+	}
+}
+
+// discover floods a route request for dst, retrying a bounded number of
+// times before failing everything queued for it.
+func (r *Router) discover(dst core.NodeID, attempt int) {
+	if route, ok := r.routes[dst]; ok && route.valid {
+		return
+	}
+	if attempt >= aodvRREQRetries {
+		queued := r.waiting[dst]
+		delete(r.waiting, dst)
+		delete(r.discovery, dst)
+		for _, ps := range queued {
+			r.fail(ps)
+		}
+		return
+	}
+	if pending, ok := r.discovery[dst]; ok && pending > attempt {
+		return // a newer discovery round is already out
+	}
+	r.discovery[dst] = attempt + 1
+	r.rreqID++
+	r.seqNo++
+	r.seenRREQ[rreqKey{orig: r.node.ID, id: r.rreqID}] = true
+	r.stats.RREQsSent++
+	r.node.SendBroadcast(encodeRREQ(r.rreqID, r.node.ID, r.seqNo, dst, r.routes[dst].knownSeq(), 0))
+	r.node.Sim().After(aodvRREQTimeout, func() {
+		if len(r.waiting[dst]) > 0 {
+			r.discover(dst, attempt+1)
+		}
+	})
+}
+
+func (e *routeEntry) knownSeq() uint32 {
+	if e == nil {
+		return 0
+	}
+	return e.seqNo
+}
+
+// learnRoute installs or refreshes a route following AODV's sequence
+// number and hop count rules, then flushes any sends waiting for it.
+func (r *Router) learnRoute(dst, nextHop core.NodeID, hops int, seqNo uint32) {
+	if dst == r.node.ID {
+		return
+	}
+	cur, ok := r.routes[dst]
+	if ok && cur.valid && (cur.seqNo > seqNo || (cur.seqNo == seqNo && cur.hops <= hops)) {
+		return
+	}
+	r.routes[dst] = &routeEntry{nextHop: nextHop, hops: hops, seqNo: seqNo, valid: true}
+	queued := r.waiting[dst]
+	delete(r.waiting, dst)
+	delete(r.discovery, dst)
+	for _, ps := range queued {
+		if ps.retries < 0 { // best-effort: no end-to-end machinery
+			r.forwardRaw(payloadDataNoE2E, r.node.ID, ps.dst, ps.seq, aodvMaxTTL, ps.payload)
+			continue
+		}
+		r.forwardData(r.node.ID, ps.dst, ps.seq, aodvMaxTTL, ps.payload)
+		r.armE2ETimer(ps)
+	}
+}
+
+// forwardData sends one routed hop of an end-to-end-acknowledged data
+// packet.
+func (r *Router) forwardData(orig, dst core.NodeID, seq uint32, ttl int, payload []byte) {
+	r.forwardRaw(payloadData, orig, dst, seq, ttl, payload)
+}
+
+// forwardRaw sends one routed hop of a data packet of the given kind.
+func (r *Router) forwardRaw(kind byte, orig, dst core.NodeID, seq uint32, ttl int, payload []byte) {
+	route, ok := r.routes[dst]
+	if !ok || !route.valid {
+		// No route at an intermediate hop: try to re-discover; the
+		// originator's end-to-end retry (or next periodic shipment)
+		// covers the lost packet.
+		r.discover(dst, 0)
+		return
+	}
+	if ttl <= 0 {
+		return
+	}
+	next := route.nextHop
+	buf := encodeData(kind, orig, dst, seq, uint8(ttl-1), payload)
+	r.stats.DataForwarded++
+	r.node.SendUnicast(next, buf, func(res UnicastResult) {
+		if !res.OK {
+			r.linkBroken(next, dst)
+		}
+	})
+}
+
+// linkBroken invalidates every route through the dead next hop and
+// broadcasts a route error.
+func (r *Router) linkBroken(next core.NodeID, dst core.NodeID) {
+	broken := false
+	for d, route := range r.routes {
+		if route.nextHop == next && route.valid {
+			route.valid = false
+			broken = true
+			_ = d
+		}
+	}
+	if broken {
+		r.seqNo++
+		r.stats.RERRsSent++
+		r.node.SendBroadcast(encodeRERR(dst))
+	}
+}
+
+func (r *Router) armE2ETimer(ps *pendingSend) {
+	ps.timerGen++
+	gen := ps.timerGen
+	r.node.Sim().After(aodvE2ETimeout+Clock(r.node.Sim().Rand().Int64N(int64(time.Second))), func() {
+		cur, ok := r.pendingE2E[ps.seq]
+		if !ok || cur != ps || ps.timerGen != gen {
+			return
+		}
+		if ps.retries >= aodvE2ERetries {
+			r.fail(ps)
+			return
+		}
+		ps.retries++
+		r.dispatch(ps)
+	})
+}
+
+// HandleFrame processes routing-protocol payloads; it reports whether the
+// frame was consumed.
+func (r *Router) HandleFrame(f *Frame) bool {
+	if len(f.Payload) == 0 {
+		return false
+	}
+	switch f.Payload[0] {
+	case payloadRREQ:
+		r.handleRREQ(f)
+	case payloadRREP:
+		r.handleRREP(f)
+	case payloadRERR:
+		r.handleRERR(f)
+	case payloadData, payloadDataNoE2E:
+		r.handleData(f)
+	case payloadE2EAck:
+		r.handleE2EAck(f)
+	default:
+		return false
+	}
+	return true
+}
+
+func (r *Router) handleRREQ(f *Frame) {
+	id, orig, origSeq, dst, dstSeq, hops, ok := decodeRREQ(f.Payload)
+	if !ok || orig == r.node.ID {
+		return
+	}
+	key := rreqKey{orig: orig, id: id}
+	if r.seenRREQ[key] {
+		return
+	}
+	r.seenRREQ[key] = true
+	// Reverse route to the originator through the broadcaster.
+	r.learnRoute(orig, f.Src, int(hops)+1, origSeq)
+
+	if dst == r.node.ID {
+		r.seqNo++
+		if r.seqNo < dstSeq {
+			r.seqNo = dstSeq
+		}
+		r.sendRREP(orig, dst, r.seqNo, 0)
+		return
+	}
+	if route, okR := r.routes[dst]; okR && route.valid && route.seqNo >= dstSeq {
+		// Intermediate reply from a fresh-enough cached route.
+		r.sendRREP(orig, dst, route.seqNo, route.hops)
+		return
+	}
+	if hops+1 < aodvMaxTTL {
+		r.node.SendBroadcast(encodeRREQ(id, orig, origSeq, dst, dstSeq, hops+1))
+	}
+}
+
+func (r *Router) sendRREP(orig, dst core.NodeID, dstSeq uint32, hops int) {
+	route, ok := r.routes[orig]
+	if !ok || !route.valid {
+		return
+	}
+	r.stats.RREPsSent++
+	r.node.SendUnicast(route.nextHop, encodeRREP(orig, dst, dstSeq, uint8(hops)), nil)
+}
+
+func (r *Router) handleRREP(f *Frame) {
+	orig, dst, dstSeq, hops, ok := decodeRREP(f.Payload)
+	if !ok {
+		return
+	}
+	// Forward route to the replied-for destination via the sender.
+	r.learnRoute(dst, f.Src, int(hops)+1, dstSeq)
+	if orig == r.node.ID {
+		return
+	}
+	if route, okR := r.routes[orig]; okR && route.valid {
+		r.node.SendUnicast(route.nextHop, encodeRREP(orig, dst, dstSeq, hops+1), nil)
+	}
+}
+
+func (r *Router) handleRERR(f *Frame) {
+	dst, ok := decodeRERR(f.Payload)
+	if !ok {
+		return
+	}
+	if route, okR := r.routes[dst]; okR && route.valid && route.nextHop == f.Src {
+		route.valid = false
+	}
+}
+
+func (r *Router) handleData(f *Frame) {
+	orig, dst, seq, ttl, payload, ok := decodeData(f.Payload)
+	if !ok {
+		return
+	}
+	// Refresh the reverse route: data arriving from f.Src means orig is
+	// reachable through it (used by the end-to-end ack).
+	if orig != r.node.ID {
+		if _, okR := r.routes[orig]; !okR || !r.routes[orig].valid {
+			r.learnRoute(orig, f.Src, aodvMaxTTL, 0)
+		}
+	}
+	if dst == r.node.ID {
+		key := dataKey{orig: orig, seq: seq}
+		if !r.seenData[key] {
+			r.seenData[key] = true
+			r.stats.DataDelivered++
+			r.deliver(orig, payload)
+		}
+		if f.Payload[0] == payloadData {
+			// Acknowledge even duplicates: the first ack may have died.
+			r.sendE2EAck(orig, seq)
+		}
+		return
+	}
+	r.forwardRaw(f.Payload[0], orig, dst, seq, int(ttl), payload)
+}
+
+func (r *Router) sendE2EAck(orig core.NodeID, seq uint32) {
+	route, ok := r.routes[orig]
+	if !ok || !route.valid {
+		r.discover(orig, 0)
+		return
+	}
+	buf := encodeData(payloadE2EAck, r.node.ID, orig, seq, aodvMaxTTL, nil)
+	r.node.SendUnicast(route.nextHop, buf, nil)
+}
+
+func (r *Router) handleE2EAck(f *Frame) {
+	orig, dst, seq, ttl, _, ok := decodeData(f.Payload)
+	if !ok {
+		return
+	}
+	if dst != r.node.ID {
+		if route, okR := r.routes[dst]; okR && route.valid && ttl > 0 {
+			buf := encodeData(payloadE2EAck, orig, dst, seq, ttl-1, nil)
+			r.node.SendUnicast(route.nextHop, buf, nil)
+		}
+		return
+	}
+	if ps, okP := r.pendingE2E[seq]; okP {
+		delete(r.pendingE2E, seq)
+		if ps.onResult != nil {
+			cb := ps.onResult
+			ps.onResult = nil
+			cb(true)
+		}
+	}
+}
+
+// Wire encodings. All integers big-endian.
+
+func encodeRREQ(id uint32, orig core.NodeID, origSeq uint32, dst core.NodeID, dstSeq uint32, hops uint8) []byte {
+	buf := make([]byte, 0, 14)
+	buf = append(buf, payloadRREQ)
+	buf = binary.BigEndian.AppendUint32(buf, id)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(orig))
+	buf = binary.BigEndian.AppendUint32(buf, origSeq)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(dst))
+	buf = binary.BigEndian.AppendUint32(buf, dstSeq)
+	return append(buf, hops)
+}
+
+func decodeRREQ(buf []byte) (id uint32, orig core.NodeID, origSeq uint32, dst core.NodeID, dstSeq uint32, hops uint8, ok bool) {
+	if len(buf) != 18 {
+		return 0, 0, 0, 0, 0, 0, false
+	}
+	id = binary.BigEndian.Uint32(buf[1:])
+	orig = core.NodeID(binary.BigEndian.Uint16(buf[5:]))
+	origSeq = binary.BigEndian.Uint32(buf[7:])
+	dst = core.NodeID(binary.BigEndian.Uint16(buf[11:]))
+	dstSeq = binary.BigEndian.Uint32(buf[13:])
+	hops = buf[17]
+	return id, orig, origSeq, dst, dstSeq, hops, true
+}
+
+func encodeRREP(orig, dst core.NodeID, dstSeq uint32, hops uint8) []byte {
+	buf := make([]byte, 0, 10)
+	buf = append(buf, payloadRREP)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(orig))
+	buf = binary.BigEndian.AppendUint16(buf, uint16(dst))
+	buf = binary.BigEndian.AppendUint32(buf, dstSeq)
+	return append(buf, hops)
+}
+
+func decodeRREP(buf []byte) (orig, dst core.NodeID, dstSeq uint32, hops uint8, ok bool) {
+	if len(buf) != 10 {
+		return 0, 0, 0, 0, false
+	}
+	orig = core.NodeID(binary.BigEndian.Uint16(buf[1:]))
+	dst = core.NodeID(binary.BigEndian.Uint16(buf[3:]))
+	dstSeq = binary.BigEndian.Uint32(buf[5:])
+	hops = buf[9]
+	return orig, dst, dstSeq, hops, true
+}
+
+func encodeRERR(dst core.NodeID) []byte {
+	buf := make([]byte, 0, 3)
+	buf = append(buf, payloadRERR)
+	return binary.BigEndian.AppendUint16(buf, uint16(dst))
+}
+
+func decodeRERR(buf []byte) (dst core.NodeID, ok bool) {
+	if len(buf) != 3 {
+		return 0, false
+	}
+	return core.NodeID(binary.BigEndian.Uint16(buf[1:])), true
+}
+
+func encodeData(kind byte, orig, dst core.NodeID, seq uint32, ttl uint8, payload []byte) []byte {
+	buf := make([]byte, 0, 12+len(payload))
+	buf = append(buf, kind)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(orig))
+	buf = binary.BigEndian.AppendUint16(buf, uint16(dst))
+	buf = binary.BigEndian.AppendUint32(buf, seq)
+	buf = append(buf, ttl)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(payload)))
+	return append(buf, payload...)
+}
+
+func decodeData(buf []byte) (orig, dst core.NodeID, seq uint32, ttl uint8, payload []byte, ok bool) {
+	if len(buf) < 12 {
+		return 0, 0, 0, 0, nil, false
+	}
+	orig = core.NodeID(binary.BigEndian.Uint16(buf[1:]))
+	dst = core.NodeID(binary.BigEndian.Uint16(buf[3:]))
+	seq = binary.BigEndian.Uint32(buf[5:])
+	ttl = buf[9]
+	n := int(binary.BigEndian.Uint16(buf[10:]))
+	if len(buf) != 12+n {
+		return 0, 0, 0, 0, nil, false
+	}
+	return orig, dst, seq, ttl, buf[12:], true
+}

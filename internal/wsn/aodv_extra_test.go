@@ -1,0 +1,140 @@
+package wsn
+
+import (
+	"testing"
+	"time"
+
+	"innet/internal/core"
+)
+
+func TestAODVBestEffortDelivery(t *testing.T) {
+	s, apps := routedLine(Config{}, 4)
+	for i := 0; i < 5; i++ {
+		apps[0].router.SendBestEffort(4, []byte{byte(i)})
+	}
+	s.Run(time.Minute)
+	if got := len(apps[3].got); got != 5 {
+		t.Fatalf("best-effort delivered %d/5", got)
+	}
+	// No end-to-end acks flow back for best-effort data: the only
+	// routed traffic at the destination is the five deliveries.
+	if apps[3].router.Stats().DataDelivered != 5 {
+		t.Fatalf("destination delivered %d", apps[3].router.Stats().DataDelivered)
+	}
+}
+
+func TestAODVBestEffortToSelf(t *testing.T) {
+	s, apps := routedLine(Config{}, 2)
+	apps[0].router.SendBestEffort(1, []byte("me"))
+	s.Run(time.Second)
+	if len(apps[0].got) != 1 {
+		t.Fatal("self best-effort must deliver locally")
+	}
+}
+
+// TestAODVIntermediateCachedReply: after a route 1→4 exists, node 2 holds
+// a cached route to 4 and may answer node 1's re-discovery directly.
+func TestAODVIntermediateCachedReply(t *testing.T) {
+	s, apps := routedLine(Config{}, 4)
+	apps[0].router.Send(4, []byte("warm"), nil)
+	s.Run(30 * time.Second)
+	if len(apps[3].got) != 1 {
+		t.Fatal("warm-up delivery failed")
+	}
+	// New traffic reuses routes without a fresh flood reaching node 4.
+	rreqsAt4 := apps[3].router.Stats().RREQsSent
+	apps[0].router.Send(4, []byte("again"), nil)
+	s.Run(s.Now() + 30*time.Second)
+	if len(apps[3].got) != 2 {
+		t.Fatal("second delivery failed")
+	}
+	if apps[3].router.Stats().RREQsSent != rreqsAt4 {
+		t.Fatal("destination should not have needed new discovery")
+	}
+}
+
+// TestAODVDataToUnknownNeighborRecovery: an intermediate node whose route
+// entry vanished re-discovers instead of dropping silently forever (the
+// originator's retry then completes delivery).
+func TestAODVEndToEndRetryHeals(t *testing.T) {
+	s, apps := routedLine(Config{Seed: 21, LossProb: 0.25}, 3)
+	delivered := false
+	apps[0].router.Send(3, []byte("x"), func(ok bool) { delivered = ok })
+	s.Run(5 * time.Minute)
+	if !delivered {
+		t.Fatal("end-to-end retry did not heal a 25% lossy path")
+	}
+}
+
+func TestFloodValidatesFrames(t *testing.T) {
+	s := NewSim(Config{})
+	delivered := 0
+	node := s.AddNode(1, Point2{}, appFunc{})
+	fl := NewFlooder(node, func(core.NodeID, []byte) { delivered++ })
+	// Truncated and oversized flood frames must be ignored.
+	if fl.HandleFrame(&Frame{Payload: []byte{payloadFlood, 1, 2}}) != true {
+		t.Fatal("flood type byte must be consumed")
+	}
+	if fl.HandleFrame(&Frame{Payload: []byte{0x77}}) {
+		t.Fatal("non-flood payload must not be consumed")
+	}
+	if delivered != 0 {
+		t.Fatal("malformed flood delivered")
+	}
+}
+
+func TestRouterIgnoresGarbage(t *testing.T) {
+	s, apps := routedLine(Config{}, 2)
+	r := apps[0].router
+	for _, payload := range [][]byte{
+		nil,
+		{},
+		{payloadRREQ, 1, 2},          // truncated RREQ
+		{payloadRREP},                // truncated RREP
+		{payloadRERR, 9},             // truncated RERR
+		{payloadData, 0, 2, 0, 1, 5}, // truncated DATA
+		{0x63, 1, 2, 3},              // unknown type
+	} {
+		r.HandleFrame(&Frame{Kind: FrameBroadcast, Src: 2, Payload: payload})
+	}
+	s.Run(time.Second)
+	if len(apps[0].got) != 0 {
+		t.Fatal("garbage delivered")
+	}
+}
+
+// TestEnergyMonotonicity: a busier network never reports less energy.
+func TestEnergyMonotonicity(t *testing.T) {
+	run := func(frames int) float64 {
+		s, _ := lineSim(Config{Seed: 3}, 3)
+		for i := 0; i < frames; i++ {
+			s.Node(1).SendBroadcast(make([]byte, 40))
+		}
+		s.Run(time.Minute)
+		var total float64
+		for _, n := range s.Nodes() {
+			total += n.Energy().TotalAt(time.Minute, s.cfg.Radio.IdlePower)
+		}
+		return total
+	}
+	if run(20) <= run(2) {
+		t.Fatal("more traffic must cost more energy")
+	}
+}
+
+// TestFailDuringTraffic: failing a node mid-run must not panic the
+// scheduler or deliver frames to the dead node.
+func TestFailDuringTraffic(t *testing.T) {
+	s, apps := lineSim(Config{Seed: 4}, 3)
+	for i := 0; i < 30; i++ {
+		s.Node(1).SendBroadcast(make([]byte, 60))
+		s.Node(3).SendBroadcast(make([]byte, 60))
+	}
+	s.After(5*time.Millisecond, func() { s.Node(2).Fail() })
+	s.Run(time.Minute)
+	frames := len(apps[1].frames)
+	s.Run(2 * time.Minute)
+	if len(apps[1].frames) != frames {
+		t.Fatal("dead node kept receiving")
+	}
+}

@@ -1,0 +1,251 @@
+package wsn
+
+import (
+	"testing"
+	"time"
+
+	"innet/internal/core"
+)
+
+// routedApp wires a Router into a node and records delivered payloads.
+type routedApp struct {
+	router *Router
+	got    [][]byte
+	from   []core.NodeID
+}
+
+func (a *routedApp) Start(*Node) {}
+
+func (a *routedApp) Receive(n *Node, f *Frame) {
+	a.router.HandleFrame(f)
+}
+
+// routedLine builds nodes 1..n on a line (5 m spacing) each running an
+// AODV router.
+func routedLine(cfg Config, n int) (*Sim, []*routedApp) {
+	s := NewSim(cfg)
+	apps := make([]*routedApp, n)
+	for i := 0; i < n; i++ {
+		app := &routedApp{}
+		node := s.AddNode(core.NodeID(i+1), Point2{X: float64(i) * 5}, app)
+		app.router = NewRouter(node, func(src core.NodeID, payload []byte) {
+			app.got = append(app.got, append([]byte(nil), payload...))
+			app.from = append(app.from, src)
+		})
+		apps[i] = app
+	}
+	return s, apps
+}
+
+func TestAODVSingleHop(t *testing.T) {
+	s, apps := routedLine(Config{}, 2)
+	acked := false
+	apps[0].router.Send(2, []byte("hello"), func(ok bool) { acked = ok })
+	s.Run(time.Minute)
+	if len(apps[1].got) != 1 || string(apps[1].got[0]) != "hello" {
+		t.Fatalf("delivery failed: %q", apps[1].got)
+	}
+	if apps[1].from[0] != 1 {
+		t.Fatalf("wrong source %d", apps[1].from[0])
+	}
+	if !acked {
+		t.Fatal("end-to-end ack not received")
+	}
+}
+
+func TestAODVMultiHop(t *testing.T) {
+	s, apps := routedLine(Config{}, 5)
+	acked := false
+	apps[0].router.Send(5, []byte("far"), func(ok bool) { acked = ok })
+	s.Run(time.Minute)
+	if len(apps[4].got) != 1 || string(apps[4].got[0]) != "far" {
+		t.Fatalf("multi-hop delivery failed: %q", apps[4].got)
+	}
+	if !acked {
+		t.Fatal("end-to-end ack not received across 4 hops")
+	}
+	// Intermediate nodes forwarded but did not deliver.
+	for i := 1; i < 4; i++ {
+		if len(apps[i].got) != 0 {
+			t.Fatalf("intermediate node %d delivered a payload", i+1)
+		}
+	}
+	if apps[1].router.Stats().DataForwarded == 0 {
+		t.Fatal("intermediate node did not forward")
+	}
+}
+
+func TestAODVSendToSelf(t *testing.T) {
+	s, apps := routedLine(Config{}, 2)
+	acked := false
+	apps[0].router.Send(1, []byte("me"), func(ok bool) { acked = ok })
+	s.Run(time.Second)
+	if len(apps[0].got) != 1 || !acked {
+		t.Fatal("self-send must deliver locally and ack immediately")
+	}
+}
+
+func TestAODVRouteReuse(t *testing.T) {
+	s, apps := routedLine(Config{}, 4)
+	for i := 0; i < 5; i++ {
+		apps[0].router.Send(4, []byte{byte(i)}, nil)
+	}
+	s.Run(time.Minute)
+	if len(apps[3].got) != 5 {
+		t.Fatalf("delivered %d/5", len(apps[3].got))
+	}
+	// One discovery should cover all five sends.
+	if got := apps[0].router.Stats().RREQsSent; got > 2 {
+		t.Fatalf("route not reused: %d RREQ floods", got)
+	}
+}
+
+func TestAODVUnreachableFails(t *testing.T) {
+	s, apps := routedLine(Config{}, 4)
+	s.Node(3).Fail() // cut the line: 4 unreachable from 1
+	result := make(chan bool, 1)
+	done := false
+	apps[0].router.Send(4, []byte("x"), func(ok bool) { done = true; result <- ok })
+	s.Run(5 * time.Minute)
+	if !done {
+		t.Fatal("send callback never fired")
+	}
+	if ok := <-result; ok {
+		t.Fatal("send to an unreachable node reported success")
+	}
+	if len(apps[3].got) != 0 {
+		t.Fatal("payload crossed a dead node")
+	}
+}
+
+func TestAODVReroutesAroundFailure(t *testing.T) {
+	// Diamond: 1 at (0,0); 2 at (5,3) and 3 at (5,-3) are both in range
+	// of 1 and 4; 4 at (10,0). 2 and 3 are 6 m apart (in range), 1–4 is
+	// 10 m (out of range).
+	s := NewSim(Config{Seed: 5})
+	apps := make(map[core.NodeID]*routedApp)
+	add := func(id core.NodeID, pos Point2) {
+		app := &routedApp{}
+		node := s.AddNode(id, pos, app)
+		app.router = NewRouter(node, func(src core.NodeID, payload []byte) {
+			app.got = append(app.got, append([]byte(nil), payload...))
+		})
+		apps[id] = app
+	}
+	add(1, Point2{0, 0})
+	add(2, Point2{5, 3})
+	add(3, Point2{5, -3})
+	add(4, Point2{10, 0})
+
+	apps[1].router.Send(4, []byte("a"), nil)
+	s.Run(30 * time.Second)
+	if len(apps[4].got) != 1 {
+		t.Fatalf("initial delivery failed: %d", len(apps[4].got))
+	}
+
+	// Kill whichever relay carried the route, then send again: AODV
+	// must fail over to the surviving relay (possibly via the
+	// end-to-end retry).
+	relay := core.NodeID(2)
+	if apps[3].router.Stats().DataForwarded > 0 {
+		relay = 3
+	}
+	s.Node(relay).Fail()
+	acked := false
+	apps[1].router.Send(4, []byte("b"), func(ok bool) { acked = ok })
+	s.Run(s.Now() + 5*time.Minute)
+	if len(apps[4].got) != 2 {
+		t.Fatalf("rerouted delivery failed: got %d payloads", len(apps[4].got))
+	}
+	if !acked {
+		t.Fatal("rerouted send not acknowledged")
+	}
+}
+
+func TestAODVLossyLink(t *testing.T) {
+	s, apps := routedLine(Config{Seed: 11, LossProb: 0.15}, 4)
+	delivered := 0
+	for i := 0; i < 10; i++ {
+		apps[0].router.Send(4, []byte{byte(i)}, func(ok bool) {
+			if ok {
+				delivered++
+			}
+		})
+	}
+	s.Run(10 * time.Minute)
+	if delivered < 8 {
+		t.Fatalf("only %d/10 acked over a 15%% lossy path", delivered)
+	}
+	if got := len(apps[3].got); got < delivered {
+		t.Fatalf("acked %d but delivered %d", delivered, got)
+	}
+}
+
+func TestAODVStatsProgress(t *testing.T) {
+	s, apps := routedLine(Config{}, 3)
+	apps[0].router.Send(3, []byte("s"), nil)
+	s.Run(time.Minute)
+	st := apps[0].router.Stats()
+	if st.RREQsSent == 0 || st.DataForwarded == 0 {
+		t.Fatalf("stats did not move: %+v", st)
+	}
+	if apps[2].router.Stats().DataDelivered != 1 {
+		t.Fatalf("destination stats: %+v", apps[2].router.Stats())
+	}
+}
+
+func TestFloodReachesEveryNode(t *testing.T) {
+	s := NewSim(Config{Seed: 2})
+	const n = 7
+	type floodApp struct {
+		fl  *Flooder
+		got [][]byte
+	}
+	apps := make([]*floodApp, n)
+	for i := 0; i < n; i++ {
+		app := &floodApp{}
+		node := s.AddNode(core.NodeID(i+1), Point2{X: float64(i) * 5}, appFunc{
+			receive: func(nd *Node, f *Frame) { app.fl.HandleFrame(f) },
+		})
+		app.fl = NewFlooder(node, func(orig core.NodeID, payload []byte) {
+			app.got = append(app.got, append([]byte(nil), payload...))
+		})
+		apps[i] = app
+	}
+	apps[0].fl.Flood([]byte("to-all"))
+	s.Run(time.Minute)
+	for i := 1; i < n; i++ {
+		if len(apps[i].got) != 1 || string(apps[i].got[0]) != "to-all" {
+			t.Fatalf("node %d got %q", i+1, apps[i].got)
+		}
+	}
+	if len(apps[0].got) != 0 {
+		t.Fatal("originator must not deliver its own flood")
+	}
+	// Flooding the same sequence twice is deduplicated.
+	apps[0].fl.Flood([]byte("second"))
+	s.Run(s.Now() + time.Minute)
+	for i := 1; i < n; i++ {
+		if len(apps[i].got) != 2 {
+			t.Fatalf("node %d got %d floods, want 2", i+1, len(apps[i].got))
+		}
+	}
+}
+
+// appFunc adapts plain functions to the App interface.
+type appFunc struct {
+	start   func(*Node)
+	receive func(*Node, *Frame)
+}
+
+func (a appFunc) Start(n *Node) {
+	if a.start != nil {
+		a.start(n)
+	}
+}
+
+func (a appFunc) Receive(n *Node, f *Frame) {
+	if a.receive != nil {
+		a.receive(n, f)
+	}
+}

@@ -1,0 +1,84 @@
+package wsn
+
+import (
+	"encoding/binary"
+	"time"
+
+	"innet/internal/core"
+)
+
+// Flooder implements a simple sequenced network-wide flood: every node
+// rebroadcasts each flood exactly once (deduplicated on origin and
+// sequence number) after a small random jitter to decorrelate the
+// rebroadcast storm. The centralized baseline's sink uses it to return
+// the computed outliers to all sensors, as §7.1 describes.
+type Flooder struct {
+	node    *Node
+	deliver func(orig core.NodeID, payload []byte)
+	seq     uint32
+	seen    map[dataKey]bool
+
+	// Rebroadcasts counts forwarded floods, for traffic accounting.
+	Rebroadcasts int
+}
+
+// NewFlooder attaches a flooder to the node; deliver fires once per
+// distinct flood received (not for the node's own floods).
+func NewFlooder(n *Node, deliver func(orig core.NodeID, payload []byte)) *Flooder {
+	return &Flooder{node: n, deliver: deliver, seen: make(map[dataKey]bool)}
+}
+
+// Flood disseminates payload to the whole connected network.
+func (fl *Flooder) Flood(payload []byte) {
+	fl.seq++
+	fl.seen[dataKey{orig: fl.node.ID, seq: fl.seq}] = true
+	fl.node.SendBroadcast(encodeFlood(fl.node.ID, fl.seq, payload))
+}
+
+// HandleFrame processes flood payloads; it reports whether the frame was
+// consumed.
+func (fl *Flooder) HandleFrame(f *Frame) bool {
+	if len(f.Payload) == 0 || f.Payload[0] != payloadFlood {
+		return false
+	}
+	orig, seq, payload, ok := decodeFlood(f.Payload)
+	if !ok {
+		return true
+	}
+	key := dataKey{orig: orig, seq: seq}
+	if fl.seen[key] {
+		return true
+	}
+	fl.seen[key] = true
+	fl.deliver(orig, payload)
+	// Rebroadcast once, with enough jitter that the co-receivers of the
+	// same flood (often hidden from one another) do not collide.
+	raw := append([]byte(nil), f.Payload...)
+	fl.Rebroadcasts++
+	fl.node.Sim().After(Clock(fl.node.Sim().Rand().Int64N(int64(150*time.Millisecond))), func() {
+		fl.node.SendBroadcast(raw)
+	})
+	return true
+}
+
+func encodeFlood(orig core.NodeID, seq uint32, payload []byte) []byte {
+	buf := make([]byte, 0, 9+len(payload))
+	buf = append(buf, payloadFlood)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(orig))
+	buf = binary.BigEndian.AppendUint32(buf, seq)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(payload)))
+	return append(buf, payload...)
+}
+
+func decodeFlood(buf []byte) (orig core.NodeID, seq uint32, payload []byte, ok bool) {
+	if len(buf) < 9 {
+		return 0, 0, nil, false
+	}
+	orig = core.NodeID(binary.BigEndian.Uint16(buf[1:]))
+	seq = binary.BigEndian.Uint32(buf[3:])
+	n := int(binary.BigEndian.Uint16(buf[7:]))
+	if len(buf) != 9+n {
+		return 0, 0, nil, false
+	}
+	return orig, seq, buf[9:], true
+}

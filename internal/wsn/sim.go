@@ -1,0 +1,295 @@
+// Package wsn is a discrete-event wireless sensor network simulator, the
+// stand-in for the SENSE simulator the paper evaluates on. It models:
+//
+//   - a broadcast radio medium with free-space disc propagation,
+//     promiscuous listening, half-duplex radios, CSMA carrier sensing,
+//     collisions (including hidden-terminal collisions) and per-link
+//     random loss;
+//   - the Crossbow-mote energy model the paper configures (0.0159 W
+//     transmit, 0.021 W receive, 3 µW idle at 3 V, 38.4 kbit/s);
+//   - a link-layer MAC with a transmit queue, broadcast frames, and
+//     acknowledged unicast frames with bounded retransmission;
+//   - AODV routing (RREQ flood, RREP reverse path, RERR, sequence
+//     numbers) plus end-to-end acknowledgment, used by the centralized
+//     baseline; and
+//   - a network-wide flood primitive for sink-to-all dissemination.
+//
+// The simulator is fully deterministic for a given seed: events are
+// heap-ordered by (time, sequence number) and all randomness flows from
+// one seeded PCG.
+package wsn
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"time"
+
+	"innet/internal/core"
+)
+
+// Clock is simulated time since the start of the run.
+type Clock = time.Duration
+
+// event is one scheduled callback.
+type event struct {
+	at  Clock
+	seq uint64
+	fn  func()
+}
+
+// eventHeap orders events by (time, insertion sequence).
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+func (h eventHeap) peek() event   { return h[0] }
+func (h *eventHeap) pop() event   { return heap.Pop(h).(event) }
+func (h *eventHeap) push(e event) { heap.Push(h, e) }
+func (h eventHeap) empty() bool   { return len(h) == 0 }
+
+// Config parameterizes a simulation run.
+type Config struct {
+	// Seed drives all randomness in the run.
+	Seed uint64
+
+	// Radio is the radio and energy model; zero fields take the
+	// Crossbow defaults (DefaultRadio).
+	Radio RadioConfig
+
+	// LossProb is the probability that an otherwise successful frame
+	// reception is dropped (fading, CRC failure). Collisions are
+	// modeled separately and come on top.
+	LossProb float64
+}
+
+// RadioConfig captures the PHY parameters the paper configures for the
+// Crossbow motes.
+type RadioConfig struct {
+	// TxPower, RxPower, IdlePower are drawn in watts (paper §7.1:
+	// 0.0159 / 0.021 / 3e-6 at 3 V).
+	TxPower   float64
+	RxPower   float64
+	IdlePower float64
+	// BitRate is the radio bit rate in bits per second. The default is
+	// the MicaZ's 250 kbit/s 802.15.4 radio (the Crossbow mote family
+	// the paper's power constants describe also includes the 38.4
+	// kbit/s Mica2; at that rate the paper's own w=10 traffic volume
+	// would exceed the channel capacity of a sampling round).
+	BitRate float64
+	// Range is the transmission radius in meters (paper: ≈6.77 m
+	// on-ground effective range).
+	Range float64
+	// SenseRange is the carrier-sense and interference radius: real
+	// receivers detect energy (and suffer interference) well beyond
+	// the distance at which they can decode. Defaults to 2×Range,
+	// which is what suppresses hidden-terminal collisions between
+	// two-hop neighbors.
+	SenseRange float64
+	// FrameOverhead is the PHY+MAC framing cost in bytes added to
+	// every payload (preamble, sync, header, CRC).
+	FrameOverhead int
+}
+
+// DefaultRadio returns the paper's Crossbow mote configuration.
+func DefaultRadio() RadioConfig {
+	return RadioConfig{
+		TxPower:       0.0159,
+		RxPower:       0.021,
+		IdlePower:     3e-6,
+		BitRate:       250_000,
+		Range:         6.77,
+		FrameOverhead: 18,
+	}
+}
+
+func (rc *RadioConfig) applyDefaults() {
+	def := DefaultRadio()
+	if rc.TxPower == 0 {
+		rc.TxPower = def.TxPower
+	}
+	if rc.RxPower == 0 {
+		rc.RxPower = def.RxPower
+	}
+	if rc.IdlePower == 0 {
+		rc.IdlePower = def.IdlePower
+	}
+	if rc.BitRate == 0 {
+		rc.BitRate = def.BitRate
+	}
+	if rc.Range == 0 {
+		rc.Range = def.Range
+	}
+	if rc.SenseRange == 0 {
+		rc.SenseRange = 2 * rc.Range
+	}
+	if rc.FrameOverhead == 0 {
+		rc.FrameOverhead = def.FrameOverhead
+	}
+}
+
+// airtime returns how long a frame with the given payload size occupies
+// the medium.
+func (rc RadioConfig) airtime(payloadBytes int) Clock {
+	bits := float64(payloadBytes+rc.FrameOverhead) * 8
+	return Clock(bits / rc.BitRate * float64(time.Second))
+}
+
+// Sim is a deterministic discrete-event simulation of one sensor network.
+type Sim struct {
+	cfg   Config
+	now   Clock
+	seq   uint64
+	queue eventHeap
+	rng   *rand.Rand
+
+	nodes  map[core.NodeID]*Node
+	order  []core.NodeID // insertion order, for deterministic iteration
+	events int
+}
+
+// NewSim builds an empty simulation.
+func NewSim(cfg Config) *Sim {
+	cfg.Radio.applyDefaults()
+	return &Sim{
+		cfg:   cfg,
+		rng:   rand.New(rand.NewPCG(cfg.Seed, cfg.Seed^0xda3e39cb94b95bdb)),
+		nodes: make(map[core.NodeID]*Node),
+	}
+}
+
+// Now returns the current simulated time.
+func (s *Sim) Now() Clock { return s.now }
+
+// Rand returns the simulation's deterministic randomness source.
+// Callbacks must draw randomness only from here.
+func (s *Sim) Rand() *rand.Rand { return s.rng }
+
+// Events returns the number of events executed so far.
+func (s *Sim) Events() int { return s.events }
+
+// At schedules fn at the absolute simulated time t (clamped to now).
+func (s *Sim) At(t Clock, fn func()) {
+	if t < s.now {
+		t = s.now
+	}
+	s.seq++
+	s.queue.push(event{at: t, seq: s.seq, fn: fn})
+}
+
+// After schedules fn d after the current time.
+func (s *Sim) After(d Clock, fn func()) { s.At(s.now+d, fn) }
+
+// Run executes events until the queue empties or simulated time reaches
+// until; events scheduled at exactly until still run.
+func (s *Sim) Run(until Clock) {
+	for !s.queue.empty() && s.queue.peek().at <= until {
+		e := s.queue.pop()
+		s.now = e.at
+		s.events++
+		e.fn()
+	}
+	if s.now < until {
+		s.now = until
+	}
+}
+
+// RunUntilIdle executes all pending events regardless of time, up to the
+// given safety cap, and reports whether the queue drained.
+func (s *Sim) RunUntilIdle(maxEvents int) bool {
+	for i := 0; i < maxEvents; i++ {
+		if s.queue.empty() {
+			return true
+		}
+		e := s.queue.pop()
+		s.now = e.at
+		s.events++
+		e.fn()
+	}
+	return s.queue.empty()
+}
+
+// AddNode places a sensor at pos running the given application. Node IDs
+// must be unique.
+func (s *Sim) AddNode(id core.NodeID, pos Point2, app App) *Node {
+	if _, dup := s.nodes[id]; dup {
+		panic(fmt.Sprintf("wsn: duplicate node %d", id))
+	}
+	n := newNode(s, id, pos, app)
+	s.nodes[id] = n
+	s.order = append(s.order, id)
+	return n
+}
+
+// Node returns the node with the given ID, or nil.
+func (s *Sim) Node(id core.NodeID) *Node { return s.nodes[id] }
+
+// Nodes returns all nodes in insertion order.
+func (s *Sim) Nodes() []*Node {
+	out := make([]*Node, len(s.order))
+	for i, id := range s.order {
+		out[i] = s.nodes[id]
+	}
+	return out
+}
+
+// Start invokes every application's Start callback at time zero with a
+// small random stagger, as deployed motes boot asynchronously.
+func (s *Sim) Start() {
+	for _, id := range s.order {
+		n := s.nodes[id]
+		s.At(Clock(s.rng.Int64N(int64(50*time.Millisecond))), func() { n.app.Start(n) })
+	}
+}
+
+// neighborsOf returns the alive nodes within decoding range of n, in
+// insertion order.
+func (s *Sim) neighborsOf(n *Node) []*Node {
+	var out []*Node
+	for _, id := range s.order {
+		other := s.nodes[id]
+		if other == n || other.down {
+			continue
+		}
+		if n.Pos.Dist(other.Pos) <= s.cfg.Radio.Range {
+			out = append(out, other)
+		}
+	}
+	return out
+}
+
+// sensersOf returns the alive nodes within carrier-sense (interference)
+// range but beyond decoding range of n.
+func (s *Sim) sensersOf(n *Node) []*Node {
+	var out []*Node
+	for _, id := range s.order {
+		other := s.nodes[id]
+		if other == n || other.down {
+			continue
+		}
+		d := n.Pos.Dist(other.Pos)
+		if d > s.cfg.Radio.Range && d <= s.cfg.Radio.SenseRange {
+			out = append(out, other)
+		}
+	}
+	return out
+}
+
+// Point2 is a position on the simulated terrain, in meters.
+type Point2 struct {
+	X, Y float64
+}
+
+// Dist returns the Euclidean distance to q.
+func (p Point2) Dist(q Point2) float64 {
+	return math.Hypot(p.X-q.X, p.Y-q.Y)
+}

@@ -1,0 +1,114 @@
+package wsn
+
+import (
+	"sort"
+
+	"innet/internal/core"
+)
+
+// Topology is a static view of which nodes can hear which, derived from
+// positions and radio range. The runner uses it for ground truth (hop
+// distances for semi-global outliers) and for configuring detectors'
+// initial neighbor lists.
+type Topology struct {
+	ids []core.NodeID
+	adj map[core.NodeID][]core.NodeID
+}
+
+// NewTopology computes the disc-graph topology of the given positions at
+// the given radio range.
+func NewTopology(positions map[core.NodeID]Point2, radioRange float64) *Topology {
+	t := &Topology{adj: make(map[core.NodeID][]core.NodeID, len(positions))}
+	for id := range positions {
+		t.ids = append(t.ids, id)
+	}
+	sort.Slice(t.ids, func(i, j int) bool { return t.ids[i] < t.ids[j] })
+	for _, a := range t.ids {
+		for _, b := range t.ids {
+			if a != b && positions[a].Dist(positions[b]) <= radioRange {
+				t.adj[a] = append(t.adj[a], b)
+			}
+		}
+	}
+	return t
+}
+
+// Nodes returns all node IDs, sorted.
+func (t *Topology) Nodes() []core.NodeID {
+	out := make([]core.NodeID, len(t.ids))
+	copy(out, t.ids)
+	return out
+}
+
+// Neighbors returns the sorted immediate neighbors of id.
+func (t *Topology) Neighbors(id core.NodeID) []core.NodeID {
+	out := make([]core.NodeID, len(t.adj[id]))
+	copy(out, t.adj[id])
+	return out
+}
+
+// Degree returns the number of immediate neighbors of id.
+func (t *Topology) Degree(id core.NodeID) int { return len(t.adj[id]) }
+
+// HopDistances returns BFS hop distances from src; unreachable nodes are
+// absent.
+func (t *Topology) HopDistances(src core.NodeID) map[core.NodeID]int {
+	dist := map[core.NodeID]int{src: 0}
+	frontier := []core.NodeID{src}
+	for len(frontier) > 0 {
+		var next []core.NodeID
+		for _, u := range frontier {
+			for _, v := range t.adj[u] {
+				if _, seen := dist[v]; !seen {
+					dist[v] = dist[u] + 1
+					next = append(next, v)
+				}
+			}
+		}
+		frontier = next
+	}
+	return dist
+}
+
+// Connected reports whether every node can reach every other.
+func (t *Topology) Connected() bool {
+	if len(t.ids) <= 1 {
+		return true
+	}
+	return len(t.HopDistances(t.ids[0])) == len(t.ids)
+}
+
+// Diameter returns the longest shortest-path length in hops, or -1 if
+// the graph is disconnected or empty.
+func (t *Topology) Diameter() int {
+	if len(t.ids) == 0 {
+		return -1
+	}
+	max := 0
+	for _, src := range t.ids {
+		dist := t.HopDistances(src)
+		if len(dist) != len(t.ids) {
+			return -1
+		}
+		for _, d := range dist {
+			if d > max {
+				max = d
+			}
+		}
+	}
+	return max
+}
+
+// MedianDegree returns the median node degree, a density summary used in
+// experiment reports.
+func (t *Topology) MedianDegree() int {
+	if len(t.ids) == 0 {
+		return 0
+	}
+	degs := make([]int, len(t.ids))
+	for i, id := range t.ids {
+		degs[i] = len(t.adj[id])
+	}
+	sort.Ints(degs)
+	return degs[len(degs)/2]
+}

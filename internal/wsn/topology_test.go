@@ -1,0 +1,83 @@
+package wsn
+
+import (
+	"testing"
+
+	"innet/internal/core"
+)
+
+func linePositions(n int, spacing float64) map[core.NodeID]Point2 {
+	pos := make(map[core.NodeID]Point2, n)
+	for i := 0; i < n; i++ {
+		pos[core.NodeID(i+1)] = Point2{X: float64(i) * spacing}
+	}
+	return pos
+}
+
+func TestTopologyDiscGraph(t *testing.T) {
+	topo := NewTopology(linePositions(5, 5), 6.77)
+	if got := topo.Neighbors(1); len(got) != 1 || got[0] != 2 {
+		t.Fatalf("Neighbors(1) = %v", got)
+	}
+	if got := topo.Neighbors(3); len(got) != 2 {
+		t.Fatalf("Neighbors(3) = %v", got)
+	}
+	if topo.Degree(2) != 2 {
+		t.Fatalf("Degree(2) = %d", topo.Degree(2))
+	}
+}
+
+func TestTopologyHopDistances(t *testing.T) {
+	topo := NewTopology(linePositions(5, 5), 6.77)
+	dist := topo.HopDistances(1)
+	for id := core.NodeID(1); id <= 5; id++ {
+		if dist[id] != int(id)-1 {
+			t.Fatalf("dist[%d] = %d", id, dist[id])
+		}
+	}
+}
+
+func TestTopologyConnectedAndDiameter(t *testing.T) {
+	topo := NewTopology(linePositions(5, 5), 6.77)
+	if !topo.Connected() {
+		t.Fatal("line must be connected")
+	}
+	if got := topo.Diameter(); got != 4 {
+		t.Fatalf("Diameter = %d, want 4", got)
+	}
+	// Too short a range splits the graph.
+	sparse := NewTopology(linePositions(5, 5), 3)
+	if sparse.Connected() {
+		t.Fatal("disconnected graph reported connected")
+	}
+	if sparse.Diameter() != -1 {
+		t.Fatal("disconnected diameter must be -1")
+	}
+}
+
+func TestTopologyTrivialCases(t *testing.T) {
+	empty := NewTopology(nil, 5)
+	if !empty.Connected() || empty.Diameter() != -1 || empty.MedianDegree() != 0 {
+		t.Fatal("empty topology invariants")
+	}
+	single := NewTopology(map[core.NodeID]Point2{7: {}}, 5)
+	if !single.Connected() || single.Diameter() != 0 {
+		t.Fatal("singleton topology invariants")
+	}
+}
+
+func TestTopologyMedianDegree(t *testing.T) {
+	topo := NewTopology(linePositions(5, 5), 6.77)
+	if got := topo.MedianDegree(); got != 2 {
+		t.Fatalf("MedianDegree = %d, want 2", got)
+	}
+}
+
+func TestTopologyNodesSorted(t *testing.T) {
+	pos := map[core.NodeID]Point2{9: {}, 3: {X: 1}, 7: {X: 2}}
+	topo := NewTopology(pos, 10)
+	ids := topo.Nodes()
+	if ids[0] != 3 || ids[1] != 7 || ids[2] != 9 {
+		t.Fatalf("Nodes() = %v, want sorted", ids)
+	}
+}

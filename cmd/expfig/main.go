@@ -6,7 +6,7 @@
 // Usage:
 //
 //	expfig [-fig all|fig4|fig5|fig6|fig7|fig8|fig9|accuracy|scale]
-//	       [-full] [-seeds n] [-duration d] [-out dir] [-v]
+//	       [-full] [-seeds n] [-duration d] [-out dir] [-workers n] [-v]
 //
 // By default a reduced "quick" scale runs (one seed, 400 s); -full
 // selects the paper scale (four seeds, 1000 s, full sweeps), which takes
@@ -40,10 +40,12 @@ func run(args []string) error {
 		duration = fs.Duration("duration", 0, "override the simulated duration")
 		outDir   = fs.String("out", "", "also write each figure's TSVs into this directory")
 		verbose  = fs.Bool("v", false, "progress output on stderr")
+		workers  = fs.Int("workers", 0, "max concurrent seed simulations (0 = GOMAXPROCS)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	runner.DefaultWorkers(*workers)
 
 	scale := runner.QuickScale()
 	if *full {

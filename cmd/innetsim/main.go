@@ -6,7 +6,7 @@
 //
 //	innetsim [-algo global|semi|central] [-ranker nn|knn] [-k 4] [-n 4]
 //	         [-w 20] [-eps 2] [-nodes 53] [-seeds 2] [-loss 0.0]
-//	         [-period 31s] [-duration 1000s]
+//	         [-period 31s] [-duration 1000s] [-workers 0]
 package main
 
 import (
@@ -39,6 +39,7 @@ func run(args []string) error {
 		loss     = fs.Float64("loss", 0, "radio loss probability")
 		period   = fs.Duration("period", 31*time.Second, "sampling period")
 		duration = fs.Duration("duration", 1000*time.Second, "simulated run length")
+		workers  = fs.Int("workers", 0, "max concurrent seed simulations (0 = GOMAXPROCS)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -55,6 +56,7 @@ func run(args []string) error {
 		Duration:      *duration,
 		LossProb:      *loss,
 		AccuracyEvery: 5,
+		Workers:       *workers,
 	}
 	switch *algo {
 	case "global":

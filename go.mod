@@ -1,0 +1,3 @@
+module innet
+
+go 1.24

@@ -9,7 +9,6 @@ package baseline
 
 import (
 	"fmt"
-	"sort"
 	"time"
 
 	"innet/internal/core"
@@ -70,6 +69,21 @@ func New(cfg Config) (*App, error) {
 		cfg.LocationWeight = 1
 	}
 	return &App{cfg: cfg, collected: make(map[core.PointID]core.Point)}, nil
+}
+
+// Compute is the sink's centralized outlier computation as a pure
+// function: On(D) with the given ranker over the union of the collected
+// windows, deduplicated by point ID. This is the ground truth the paper
+// measures the distributed algorithms against, and the equivalence
+// property tests call it directly.
+func Compute(r core.Ranker, n int, windows ...[]core.Point) []core.Point {
+	set := core.NewSet()
+	for _, w := range windows {
+		for _, p := range w {
+			set.Add(p)
+		}
+	}
+	return core.TopN(r, set, n)
 }
 
 // LastResult returns the most recent outlier set this node knows (the
@@ -193,21 +207,11 @@ func (a *App) sinkCompute(n *wsn.Node, epoch int) {
 			delete(a.collected, id)
 		}
 	}
-	set := core.NewSet()
-	ids := make([]core.PointID, 0, len(a.collected))
-	for id := range a.collected {
-		ids = append(ids, id)
+	collected := make([]core.Point, 0, len(a.collected))
+	for _, p := range a.collected {
+		collected = append(collected, p)
 	}
-	sort.Slice(ids, func(i, j int) bool {
-		if ids[i].Origin != ids[j].Origin {
-			return ids[i].Origin < ids[j].Origin
-		}
-		return ids[i].Seq < ids[j].Seq
-	})
-	for _, id := range ids {
-		set.Add(a.collected[id])
-	}
-	outliers := core.TopN(a.cfg.Ranker, set, a.cfg.N)
+	outliers := Compute(a.cfg.Ranker, a.cfg.N, collected)
 	a.lastResult = outliers
 	a.resultAt = now
 

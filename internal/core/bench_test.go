@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"testing"
 	"time"
 )
@@ -26,6 +27,59 @@ func BenchmarkTopN1000(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		TopN(rk, set, 4)
+	}
+}
+
+// BenchmarkTopNIndexed measures the spatial-index ranking path against
+// the brute-force oracle on the same set: the per-point O(n) neighbor
+// scan versus the bucketed k-d tree, at the window sizes the centralized
+// sink and the global detectors actually rank (53 sensors × w samples).
+func BenchmarkTopNIndexed(b *testing.B) {
+	for _, n := range []int{530, 2120} {
+		set := benchSet(b, n)
+		rk := KNN{K: 4}
+		b.Run(fmt.Sprintf("index-%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				TopN(rk, set, 4)
+			}
+		})
+		b.Run(fmt.Sprintf("brute-%d", n), func(b *testing.B) {
+			saved := indexMinPoints
+			indexMinPoints = n + 1
+			defer func() { indexMinPoints = saved }()
+			for i := 0; i < b.N; i++ {
+				TopN(rk, set, 4)
+			}
+		})
+	}
+}
+
+// BenchmarkLOFScores measures the batch LOF path (index + memoized
+// k-distances and lrds) against the naive per-point Score.
+func BenchmarkLOFScores(b *testing.B) {
+	set := benchSet(b, 530)
+	l := LOF{K: 4}
+	b.Run("batch", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			LOFScores(l, set)
+		}
+	})
+	b.Run("naive", func(b *testing.B) {
+		pts := set.Points()
+		for i := 0; i < b.N; i++ {
+			for _, x := range pts {
+				l.Score(x, pts)
+			}
+		}
+	})
+}
+
+// BenchmarkIndexBuild isolates construction cost at detector scale.
+func BenchmarkIndexBuild(b *testing.B) {
+	pts := benchSet(b, 2120).Points()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		NewIndex(pts)
 	}
 }
 

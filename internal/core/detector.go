@@ -469,10 +469,23 @@ func (d *Detector) react() *Outbound {
 }
 
 // prepareSeed computes On(P) ∪ [P|On(P)], the neighbor-independent part
-// of Eq. (2).
+// of Eq. (2). One supporter serves both the ranking batch and the
+// support lookups, so the spatial index over P is built at most once.
 func (d *Detector) prepareSeed(set *Set) *Set {
-	estimate := TopN(d.cfg.Ranker, set, d.cfg.N)
-	return NewSet(estimate...).Union(SupportOf(d.cfg.Ranker, set, estimate))
+	sup := newSupporter(d.cfg.Ranker, set)
+	ranked := sup.rankAll()
+	n := d.cfg.N
+	if n > len(ranked) {
+		n = len(ranked)
+	}
+	seed := NewSet()
+	estimate := make([]Point, 0, n)
+	for _, rk := range ranked[:n] {
+		estimate = append(estimate, rk.Point)
+		seed.AddMinHop(rk.Point)
+	}
+	sup.supportOf(seed, estimate)
+	return seed
 }
 
 // stratum carries the hop-filtered point set P≤h and its Eq. (2) seed.

@@ -78,20 +78,73 @@ func (l LOF) lrd(p Point, data []Point) float64 {
 
 // LOFScores ranks a whole set by LOF, descending, with the ≺ tie-break —
 // the offline comparison counterpart of TopNRanked.
+//
+// Unlike the per-point Score, the batch computes each point's neighbor
+// list once (through a spatial index for large sets) and memoizes the
+// k-distances and local reachability densities the naive formulation
+// recomputes O(k²) times per point: O(n log n + n·k) total instead of
+// Score's O(n²·k) per point. The arithmetic per point is identical to
+// Score's, which TestLOFScoresMatchScore verifies.
 func LOFScores(l LOF, set *Set) []Ranked {
 	pts := set.Points()
-	ranked := make([]Ranked, len(pts))
-	for i, x := range pts {
-		ranked[i] = Ranked{Point: x, Rank: l.Score(x, pts)}
-	}
-	for i := 1; i < len(ranked); i++ {
-		for j := i; j > 0; j-- {
-			a, b := ranked[j-1], ranked[j]
-			if a.Rank > b.Rank || (a.Rank == b.Rank && Less(a.Point, b.Point)) {
-				break
-			}
-			ranked[j-1], ranked[j] = b, a
+	k := l.k()
+
+	// Neighbor lists, identical to kNearest(x, pts, k) for every point.
+	neigh := make([][]Point, len(pts))
+	if len(pts) >= indexMinPoints {
+		ix := NewIndex(pts)
+		for i, x := range pts {
+			neigh[i] = ix.KNearest(x, k)
+		}
+	} else {
+		for i, x := range pts {
+			neigh[i] = kNearest(x, pts, k)
 		}
 	}
+
+	at := make(map[PointID]int, len(pts))
+	for i, p := range pts {
+		at[p.ID] = i
+	}
+
+	// kdist[i] = kDistance(pts[i], pts); lrds[i] = lrd(pts[i], pts),
+	// with the same guard cases and accumulation order as the methods.
+	kdist := make([]float64, len(pts))
+	for i, nn := range neigh {
+		if len(nn) > 0 {
+			kdist[i] = pts[i].Dist(nn[len(nn)-1])
+		}
+	}
+	lrds := make([]float64, len(pts))
+	for i, nn := range neigh {
+		if len(nn) == 0 {
+			continue
+		}
+		var sum float64
+		for _, o := range nn {
+			reach := pts[i].Dist(o)
+			if kd := kdist[at[o.ID]]; kd > reach {
+				reach = kd
+			}
+			sum += reach
+		}
+		if sum != 0 {
+			lrds[i] = float64(len(nn)) / sum
+		}
+	}
+
+	ranked := make([]Ranked, len(pts))
+	for i, x := range pts {
+		score := 0.0
+		if nn := neigh[i]; len(nn) >= k && lrds[i] != 0 {
+			var sum float64
+			for _, o := range nn {
+				sum += lrds[at[o.ID]] / lrds[i]
+			}
+			score = sum / float64(len(nn))
+		}
+		ranked[i] = Ranked{Point: x, Rank: score}
+	}
+	sortRanked(ranked)
 	return ranked
 }

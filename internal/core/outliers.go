@@ -1,6 +1,6 @@
 package core
 
-import "sort"
+import "slices"
 
 // Ranked pairs a point with its rank R(x, P) within the dataset it was
 // ranked against.
@@ -9,23 +9,22 @@ type Ranked struct {
 	Rank  float64
 }
 
+// indexMinPoints is the set size from which ranking batches build a
+// spatial index instead of scanning linearly: index construction is
+// O(n log n), so tiny sets (the common fixed-point candidate pools) stay
+// on the cheaper brute path. It is a variable so package tests can force
+// either path.
+var indexMinPoints = 64
+
 // rankSlice ranks every point of pts against pts \ {x} and returns the
 // result sorted by descending rank with the ≺ tie-break (higher under ≺
 // loses ties, making the ordering total and deterministic). pts must be
 // free of duplicate IDs; rankers exclude a point's own ID themselves.
 // Rank values are insensitive to slice order, so callers need not sort.
+// Large batches are served through a spatial index when the ranker
+// supports it; the results are identical by the indexedRanker contract.
 func rankSlice(r Ranker, pts []Point) []Ranked {
-	ranked := make([]Ranked, len(pts))
-	for i, x := range pts {
-		ranked[i] = Ranked{Point: x, Rank: r.Rank(x, pts)}
-	}
-	sort.Slice(ranked, func(i, j int) bool {
-		if ranked[i].Rank != ranked[j].Rank {
-			return ranked[i].Rank > ranked[j].Rank
-		}
-		return Less(ranked[i].Point, ranked[j].Point)
-	})
-	return ranked
+	return supporterFor(r, pts).rankAll()
 }
 
 // rankAll ranks every point of a set; see rankSlice.
@@ -80,18 +79,114 @@ func TopNRanked(r Ranker, set *Set, n int) []Ranked {
 	return ranked[:n]
 }
 
+// supporter answers repeated rank and smallest-support-set queries
+// against one fixed dataset P. It snapshots P once and builds the
+// spatial index lazily: a full rankAll batch (one query per point of P)
+// always amortizes the O(n log n) build, so it indexes eagerly, while
+// support lookups for a handful of points stay on the O(n) scan unless
+// an index already exists or the caller announces enough volume via
+// ensureIndex. An earlier version indexed unconditionally, and the
+// per-event builds cost more than the scans they replaced.
+type supporter struct {
+	r   Ranker
+	pts []Point
+	ir  indexedRanker // nil when r cannot use an index or P is small
+	ix  *Index        // built lazily, see ensureIndex
+}
+
+func newSupporter(r Ranker, set *Set) *supporter {
+	return supporterFor(r, set.Points())
+}
+
+func supporterFor(r Ranker, pts []Point) *supporter {
+	s := &supporter{r: r, pts: pts}
+	if ir, ok := r.(indexedRanker); ok && len(pts) >= indexMinPoints {
+		s.ir = ir
+	}
+	return s
+}
+
+// ensureIndex builds the spatial index if the ranker supports one and P
+// is large enough; call it only when the upcoming query volume
+// amortizes the build.
+func (s *supporter) ensureIndex() {
+	if s.ir != nil && s.ix == nil {
+		s.ix = NewIndex(s.pts)
+	}
+}
+
+// rankAll ranks every point of P against P \ {x}, sorted by descending
+// rank with the ≺ tie-break — one query per point, so the index always
+// pays for itself.
+func (s *supporter) rankAll() []Ranked {
+	s.ensureIndex()
+	ranked := make([]Ranked, len(s.pts))
+	if s.ix != nil {
+		scratch := newBestList(1)
+		for i, x := range s.pts {
+			ranked[i] = Ranked{Point: x, Rank: s.ir.rankIndexed(x, s.ix, scratch)}
+		}
+	} else {
+		for i, x := range s.pts {
+			ranked[i] = Ranked{Point: x, Rank: s.r.Rank(x, s.pts)}
+		}
+	}
+	sortRanked(ranked)
+	return ranked
+}
+
+// sortRanked orders by descending rank with the ≺ tie-break. The order
+// is unique (≺ is total and IDs are distinct), so the choice of sort is
+// immaterial to the result; slices.SortFunc avoids the reflection-based
+// element swaps of sort.Slice on this hot path.
+func sortRanked(ranked []Ranked) {
+	slices.SortFunc(ranked, func(a, b Ranked) int {
+		switch {
+		case a.Rank > b.Rank:
+			return -1
+		case a.Rank < b.Rank:
+			return 1
+		case Less(a.Point, b.Point):
+			return -1
+		case Less(b.Point, a.Point):
+			return 1
+		default:
+			return 0
+		}
+	})
+}
+
+// supportOf unions [P|x] over x ∈ q into dst, through the index when one
+// has been built.
+func (s *supporter) supportOf(dst *Set, q []Point) {
+	for _, x := range q {
+		var sup []Point
+		if s.ix != nil {
+			sup = s.ir.supportIndexed(x, s.ix)
+		} else {
+			sup = s.r.Support(x, s.pts)
+		}
+		for _, p := range sup {
+			dst.AddMinHop(p)
+		}
+	}
+}
+
+// supportIndexMinQueries is the support-query batch size from which
+// SupportOf builds an index up front.
+const supportIndexMinQueries = 16
+
 // SupportOf computes [P|Q] = ∪_{x∈Q} [P|x]: the union of the smallest
 // support sets over P of every point in q. Points of q need not belong
 // to P; each is ranked against P \ {x} as in the paper's definition
 // (rankers exclude a point's own ID themselves).
 func SupportOf(r Ranker, set *Set, q []Point) *Set {
-	support := NewSet()
-	pts := set.Points()
-	for _, x := range q {
-		for _, s := range r.Support(x, pts) {
-			support.AddMinHop(s)
-		}
+	s := newSupporter(r, set)
+	if len(q) >= supportIndexMinQueries {
+		s.ensureIndex()
 	}
+	support := NewSet()
+	s.supportOf(support, q)
 	return support
 }
 
@@ -130,9 +225,14 @@ func sufficientFrom(r Ranker, set, seed, shared *Set, n int) *Set {
 	}
 	shared.ForEach(add)
 	z.ForEach(add)
+	// P is fixed across the iteration: snapshot it once. Support
+	// lookups stay on the scan path — the loop issues only ~n queries
+	// per round, far too few to amortize an index build (see supporter).
+	sup := newSupporter(r, set)
 	for {
 		approx := topNSlice(r, candidates, n)
-		support := SupportOf(r, set, approx)
+		support := NewSet()
+		sup.supportOf(support, approx)
 		if support.SubsetOf(z) {
 			return z
 		}

@@ -144,3 +144,15 @@ func idLess(a, b PointID) bool {
 	}
 	return a.Seq < b.Seq
 }
+
+// idCompare is idLess as a three-way comparison for slices.SortFunc.
+func idCompare(a, b PointID) int {
+	switch {
+	case idLess(a, b):
+		return -1
+	case idLess(b, a):
+		return 1
+	default:
+		return 0
+	}
+}

@@ -1,6 +1,9 @@
 package core
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+)
 
 // Ranker is the paper's outlier ranking function R. Rank maps a point x
 // and a finite dataset to a non-negative real indicating the degree to
@@ -31,11 +34,28 @@ type Ranker interface {
 	Support(x Point, neighbors []Point) []Point
 }
 
+// indexedRanker is implemented by rankers whose neighbor queries can be
+// served by a spatial Index instead of a linear scan over the neighbors
+// slice. The contract is strict equivalence: for an index built over
+// exactly the neighbors slice (x's own ID excluded by the query),
+// rankIndexed and supportIndexed must return bit-identical ranks and the
+// same support points as Rank and Support. The batch entry points
+// (rankSlice, SupportOf, supporter) use this path for large sets.
+//
+// rankIndexed receives a scratch bestList owned by the calling batch so
+// the per-point hot loop allocates nothing; implementations that do not
+// need one ignore it.
+type indexedRanker interface {
+	Ranker
+	rankIndexed(x Point, ix *Index, scratch *bestList) float64
+	supportIndexed(x Point, ix *Index) []Point
+}
+
 // Compile-time interface compliance checks.
 var (
-	_ Ranker = KNN{}
-	_ Ranker = KthNN{}
-	_ Ranker = CountWithin{}
+	_ indexedRanker = KNN{}
+	_ indexedRanker = KthNN{}
+	_ indexedRanker = CountWithin{}
 )
 
 // MissingNeighborPenalty is the distance charged for each neighbor a
@@ -76,11 +96,11 @@ func (r KNN) Name() string {
 	return fmt.Sprintf("KNN%d", r.k())
 }
 
-// Rank implements Ranker: the average distance to the k nearest
-// neighbors, with missing neighbors charged MissingNeighborPenalty.
-func (r KNN) Rank(x Point, neighbors []Point) float64 {
+// rankFrom turns the (distance, ≺)-ordered nearest list into the rank.
+// Both the brute and indexed paths funnel through it so their float
+// accumulation order — and therefore the result bits — are identical.
+func (r KNN) rankFrom(x Point, nearest []Point) float64 {
 	k := r.k()
-	nearest := kNearest(x, neighbors, k)
 	sum := float64(k-len(nearest)) * MissingNeighborPenalty
 	for _, p := range nearest {
 		sum += x.Dist(p)
@@ -88,11 +108,35 @@ func (r KNN) Rank(x Point, neighbors []Point) float64 {
 	return sum / float64(k)
 }
 
+// Rank implements Ranker: the average distance to the k nearest
+// neighbors, with missing neighbors charged MissingNeighborPenalty.
+func (r KNN) Rank(x Point, neighbors []Point) float64 {
+	return r.rankFrom(x, kNearest(x, neighbors, r.k()))
+}
+
 // Support implements Ranker: the k nearest neighbors themselves (all of
 // the neighbors when fewer than k exist, since every point then
 // constrains the penalized rank).
 func (r KNN) Support(x Point, neighbors []Point) []Point {
 	return kNearest(x, neighbors, r.k())
+}
+
+// rankIndexed computes the rank straight from the scratch list's squared
+// distances: math.Sqrt(d2) is bit-identical to x.Dist(p) for the same
+// pair, so the accumulation matches rankFrom exactly without
+// materializing the neighbor points.
+func (r KNN) rankIndexed(x Point, ix *Index, scratch *bestList) float64 {
+	k := r.k()
+	ix.knnInto(x, k, scratch)
+	sum := float64(k-len(scratch.best)) * MissingNeighborPenalty
+	for _, dp := range scratch.best {
+		sum += math.Sqrt(dp.d2)
+	}
+	return sum / float64(k)
+}
+
+func (r KNN) supportIndexed(x Point, ix *Index) []Point {
+	return ix.KNearest(x, r.k())
 }
 
 // KthNN ranks a point by the distance to its K-th nearest neighbor
@@ -116,12 +160,10 @@ func (r KthNN) k() int {
 // Name implements Ranker.
 func (r KthNN) Name() string { return fmt.Sprintf("%dthNN", r.k()) }
 
-// Rank implements Ranker: distance to the k-th nearest neighbor, with a
-// MissingNeighborPenalty charge per missing neighbor so that every added
-// point strictly lowers an undersupplied rank (smoothness).
-func (r KthNN) Rank(x Point, neighbors []Point) float64 {
+// rankFrom computes the rank from the (distance, ≺)-ordered nearest
+// list; shared by the brute and indexed paths.
+func (r KthNN) rankFrom(x Point, nearest []Point) float64 {
 	k := r.k()
-	nearest := kNearest(x, neighbors, k)
 	rank := float64(k-len(nearest)) * MissingNeighborPenalty
 	if len(nearest) > 0 {
 		rank += x.Dist(nearest[len(nearest)-1])
@@ -129,9 +171,32 @@ func (r KthNN) Rank(x Point, neighbors []Point) float64 {
 	return rank
 }
 
+// Rank implements Ranker: distance to the k-th nearest neighbor, with a
+// MissingNeighborPenalty charge per missing neighbor so that every added
+// point strictly lowers an undersupplied rank (smoothness).
+func (r KthNN) Rank(x Point, neighbors []Point) float64 {
+	return r.rankFrom(x, kNearest(x, neighbors, r.k()))
+}
+
 // Support implements Ranker.
 func (r KthNN) Support(x Point, neighbors []Point) []Point {
 	return kNearest(x, neighbors, r.k())
+}
+
+// rankIndexed mirrors rankFrom's arithmetic on the scratch list's
+// squared distances (math.Sqrt(d2) ≡ x.Dist(p) bit-for-bit).
+func (r KthNN) rankIndexed(x Point, ix *Index, scratch *bestList) float64 {
+	k := r.k()
+	ix.knnInto(x, k, scratch)
+	rank := float64(k-len(scratch.best)) * MissingNeighborPenalty
+	if len(scratch.best) > 0 {
+		rank += math.Sqrt(scratch.best[len(scratch.best)-1].d2)
+	}
+	return rank
+}
+
+func (r KthNN) supportIndexed(x Point, ix *Index) []Point {
+	return ix.KNearest(x, r.k())
 }
 
 // CountWithin ranks a point by the inverse of the number of neighbors
@@ -171,47 +236,110 @@ func (r CountWithin) Support(x Point, neighbors []Point) []Point {
 	return within
 }
 
+func (r CountWithin) rankIndexed(x Point, ix *Index, _ *bestList) float64 {
+	return 1 / float64(1+ix.WithinCount(x, r.Alpha))
+}
+
+// supportIndexed returns the same point set as Support; the order differs
+// (the index reports (distance, ≺) order, the scan reports input order),
+// which is immaterial to every consumer — support sets are unioned into a
+// Set immediately.
+func (r CountWithin) supportIndexed(x Point, ix *Index) []Point {
+	return ix.Within(x, r.Alpha)
+}
+
+// distPoint pairs a candidate with its squared distance to the query.
+type distPoint struct {
+	d2 float64
+	p  Point
+}
+
+// bestList selects the k candidates nearest a query point under the total
+// (distance², ≺) order, by bounded insertion. It is shared by the brute
+// linear scan (kNearest) and the spatial index (Index.KNearest) so that
+// both produce identical results for identical candidate multisets — the
+// order candidates are offered in does not affect the outcome because the
+// comparison order is total.
+type bestList struct {
+	k    int
+	best []distPoint
+}
+
+func newBestList(k int) *bestList {
+	return &bestList{k: k, best: make([]distPoint, 0, k)}
+}
+
+// reset empties the list and retargets it to a new k, keeping the
+// backing array so batch queries reuse one allocation.
+func (b *bestList) reset(k int) {
+	b.k = k
+	b.best = b.best[:0]
+}
+
+// closer reports whether candidate (d2, p) precedes `than` in the
+// (distance², ≺) order.
+func closer(d2 float64, p Point, than distPoint) bool {
+	if d2 != than.d2 {
+		return d2 < than.d2
+	}
+	return Less(p, than.p)
+}
+
+// consider offers one candidate at squared distance d2.
+func (b *bestList) consider(d2 float64, p Point) {
+	if len(b.best) == b.k && !closer(d2, p, b.best[b.k-1]) {
+		return
+	}
+	i := len(b.best)
+	if i < b.k {
+		b.best = append(b.best, distPoint{})
+	} else {
+		i = b.k - 1
+	}
+	for i > 0 && closer(d2, p, b.best[i-1]) {
+		b.best[i] = b.best[i-1]
+		i--
+	}
+	b.best[i] = distPoint{d2: d2, p: p}
+}
+
+// bound returns the squared distance a new candidate must not exceed to
+// possibly enter the list, or +Inf while the list is not yet full. A
+// candidate at exactly the bound can still win its tie by ≺, so pruning
+// against bound must be strict (prune only when d2 > bound).
+func (b *bestList) bound() float64 {
+	if len(b.best) < b.k {
+		return math.Inf(1)
+	}
+	return b.best[b.k-1].d2
+}
+
+// points extracts the selected points in (distance², ≺) order.
+func (b *bestList) points() []Point {
+	out := make([]Point, len(b.best))
+	for i, dp := range b.best {
+		out[i] = dp.p
+	}
+	return out
+}
+
 // kNearest returns the k points of candidates nearest to x, ties broken
 // by ≺, in (distance, ≺) order. A candidate carrying x's own ID is
 // skipped, so callers may pass sets that still contain x. Selection is
 // O(n·k) by bounded insertion over squared distances, which beats a full
-// sort (and all the square roots) for the small k the rankers use, even
-// on the thousands-of-points sets the centralized baseline ranks.
+// sort (and all the square roots) for the small k the rankers use; for
+// large sets the package routes batched queries through Index instead.
 func kNearest(x Point, candidates []Point, k int) []Point {
-	type distPoint struct {
-		d2 float64
-		p  Point
-	}
-	closer := func(d2 float64, p Point, than distPoint) bool {
-		if d2 != than.d2 {
-			return d2 < than.d2
-		}
-		return Less(p, than.p)
-	}
-	best := make([]distPoint, 0, k)
+	best := newBestList(k)
+	bound := best.bound()
 	for _, p := range candidates {
 		if p.ID == x.ID {
 			continue
 		}
-		d2 := x.dist2(p)
-		if len(best) == k && !closer(d2, p, best[k-1]) {
-			continue
+		if d2 := x.dist2(p); d2 <= bound {
+			best.consider(d2, p)
+			bound = best.bound()
 		}
-		i := len(best)
-		if i < k {
-			best = append(best, distPoint{})
-		} else {
-			i = k - 1
-		}
-		for i > 0 && closer(d2, p, best[i-1]) {
-			best[i] = best[i-1]
-			i--
-		}
-		best[i] = distPoint{d2: d2, p: p}
 	}
-	out := make([]Point, len(best))
-	for i, dp := range best {
-		out[i] = dp.p
-	}
-	return out
+	return best.points()
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 )
 
@@ -135,19 +136,37 @@ func (f Figure) TSV(metric func(SeriesPoint) float64, metricName string) string 
 }
 
 // Session memoizes experiment cells across figures (Figs. 4–6 share the
-// same runs; the centralized curve is shared by Figs. 7–9).
+// same runs; the centralized curve is shared by Figs. 7–9). It is safe
+// for concurrent use: the figure builders fan their sweep cells out in
+// parallel, and a cell requested by several figures at once is executed
+// exactly once (per-cell single-flight) with every requester blocking on
+// the same run.
 type Session struct {
-	cache map[string]Result
+	mu    sync.Mutex
+	cache map[string]*sessionCell
+
 	// Observer, if set, is called after every cell completes (progress
-	// reporting in cmd/expfig).
+	// reporting in cmd/expfig). Calls are serialized, one per distinct
+	// cell, but their order follows completion and is not deterministic
+	// under parallel execution. Set it before the first figure request.
 	Observer func(cfg Config, res Result)
+	obsMu    sync.Mutex
+}
+
+// sessionCell is the single-flight slot for one experiment cell.
+type sessionCell struct {
+	once sync.Once
+	res  Result
+	err  error
 }
 
 // NewSession returns an empty memoizing session.
 func NewSession() *Session {
-	return &Session{cache: make(map[string]Result)}
+	return &Session{cache: make(map[string]*sessionCell)}
 }
 
+// cacheKey identifies a cell by every field that affects its results;
+// Workers is deliberately absent (it only shapes scheduling).
 func cacheKey(cfg Config) string {
 	return fmt.Sprintf("%v|%s|k%d|n%d|w%d|h%d|%d|%v|%v|%v|%v|%v|acc%d|wu%d|u%t",
 		cfg.Algo, cfg.Ranker, cfg.K, cfg.N, cfg.WindowSamples, cfg.HopLimit,
@@ -158,18 +177,22 @@ func cacheKey(cfg Config) string {
 func (s *Session) run(cfg Config) (Result, error) {
 	cfg.applyDefaults()
 	key := cacheKey(cfg)
-	if res, ok := s.cache[key]; ok {
-		return res, nil
+	s.mu.Lock()
+	cell, ok := s.cache[key]
+	if !ok {
+		cell = &sessionCell{}
+		s.cache[key] = cell
 	}
-	res, err := Run(cfg)
-	if err != nil {
-		return Result{}, err
-	}
-	s.cache[key] = res
-	if s.Observer != nil {
-		s.Observer(cfg, res)
-	}
-	return res, nil
+	s.mu.Unlock()
+	cell.once.Do(func() {
+		cell.res, cell.err = Run(cfg)
+		if cell.err == nil && s.Observer != nil {
+			s.obsMu.Lock()
+			s.Observer(cfg, cell.res)
+			s.obsMu.Unlock()
+		}
+	})
+	return cell.res, cell.err
 }
 
 func point(x float64, res Result) SeriesPoint {
@@ -184,24 +207,32 @@ func point(x float64, res Result) SeriesPoint {
 	}
 }
 
-// windowSweep runs one algorithm configuration across the window sweep.
+// windowSweep runs one algorithm configuration across the window sweep,
+// all cells concurrently. The series is assembled in window order, so the
+// output is independent of scheduling.
 func (s *Session) windowSweep(scale Scale, label string, mutate func(*Config)) (Series, error) {
-	series := Series{Label: label}
-	for _, w := range scale.Windows {
+	points := make([]SeriesPoint, len(scale.Windows))
+	err := forEachIndex(len(scale.Windows), func(i int) error {
+		w := scale.Windows[i]
 		cfg := scale.base(AlgoGlobal)
 		mutate(&cfg)
 		cfg.WindowSamples = w
 		res, err := s.run(cfg)
 		if err != nil {
-			return Series{}, fmt.Errorf("%s w=%d: %w", label, w, err)
+			return fmt.Errorf("%s w=%d: %w", label, w, err)
 		}
-		series.Points = append(series.Points, point(float64(w), res))
+		points[i] = point(float64(w), res)
+		return nil
+	})
+	if err != nil {
+		return Series{}, err
 	}
-	return series, nil
+	return Series{Label: label, Points: points}, nil
 }
 
 // globalSweepSeries returns the three curves of Figs. 4–6: Centralized,
-// Global-NN and Global-KNN with n=4, k=4.
+// Global-NN and Global-KNN with n=4, k=4. The curves — and their cells —
+// compute concurrently.
 func (s *Session) globalSweepSeries(scale Scale) ([]Series, error) {
 	specs := []struct {
 		label  string
@@ -211,13 +242,17 @@ func (s *Session) globalSweepSeries(scale Scale) ([]Series, error) {
 		{"Global-NN", func(c *Config) { c.Algo = AlgoGlobal; c.Ranker = RankNN; c.N = 4 }},
 		{"Global-KNN", func(c *Config) { c.Algo = AlgoGlobal; c.Ranker = RankKNN; c.K = 4; c.N = 4 }},
 	}
-	var out []Series
-	for _, spec := range specs {
-		series, err := s.windowSweep(scale, spec.label, spec.mutate)
+	out := make([]Series, len(specs))
+	err := forEachIndex(len(specs), func(i int) error {
+		series, err := s.windowSweep(scale, specs[i].label, specs[i].mutate)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		out = append(out, series)
+		out[i] = series
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -285,28 +320,37 @@ func (s *Session) Fig6(scale Scale) (Figure, error) {
 }
 
 // semiSweep returns the centralized curve plus semi-global curves for
-// ε ∈ {1,2,3} with the given ranker, across the window sweep.
+// ε ∈ {1,2,3} with the given ranker, across the window sweep; all four
+// curves compute concurrently.
 func (s *Session) semiSweep(scale Scale, ranker RankerKind) ([]Series, error) {
-	central, err := s.windowSweep(scale, "Centralized",
-		func(c *Config) { c.Algo = AlgoCentralized; c.Ranker = RankNN; c.N = 4 })
+	out := make([]Series, 4)
+	err := forEachIndex(4, func(i int) error {
+		var (
+			series Series
+			err    error
+		)
+		if i == 0 {
+			series, err = s.windowSweep(scale, "Centralized",
+				func(c *Config) { c.Algo = AlgoCentralized; c.Ranker = RankNN; c.N = 4 })
+		} else {
+			eps := i
+			series, err = s.windowSweep(scale, fmt.Sprintf("Semi-global, epsilon=%d", eps),
+				func(c *Config) {
+					c.Algo = AlgoSemiGlobal
+					c.Ranker = ranker
+					c.K = 4
+					c.N = 4
+					c.HopLimit = eps
+				})
+		}
+		if err != nil {
+			return err
+		}
+		out[i] = series
+		return nil
+	})
 	if err != nil {
 		return nil, err
-	}
-	out := []Series{central}
-	for eps := 1; eps <= 3; eps++ {
-		eps := eps
-		series, err := s.windowSweep(scale, fmt.Sprintf("Semi-global, epsilon=%d", eps),
-			func(c *Config) {
-				c.Algo = AlgoSemiGlobal
-				c.Ranker = ranker
-				c.K = 4
-				c.N = 4
-				c.HopLimit = eps
-			})
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, series)
 	}
 	return out, nil
 }
@@ -344,37 +388,50 @@ func (s *Session) Fig8(scale Scale) (Figure, error) {
 // reported outliers n (w=20, k=4) for semi-global KNN detection.
 func (s *Session) Fig9(scale Scale) (Figure, error) {
 	nSweep := func(label string, mutate func(*Config)) (Series, error) {
-		series := Series{Label: label}
-		for _, n := range scale.Outliers {
+		points := make([]SeriesPoint, len(scale.Outliers))
+		err := forEachIndex(len(scale.Outliers), func(i int) error {
+			n := scale.Outliers[i]
 			cfg := scale.base(AlgoGlobal)
 			mutate(&cfg)
 			cfg.N = n
 			cfg.WindowSamples = 20
 			res, err := s.run(cfg)
 			if err != nil {
-				return Series{}, fmt.Errorf("%s n=%d: %w", label, n, err)
+				return fmt.Errorf("%s n=%d: %w", label, n, err)
 			}
-			series.Points = append(series.Points, point(float64(n), res))
-		}
-		return series, nil
-	}
-	central, err := nSweep("Centralized", func(c *Config) { c.Algo = AlgoCentralized; c.Ranker = RankNN })
-	if err != nil {
-		return Figure{}, err
-	}
-	series := []Series{central}
-	for eps := 1; eps <= 3; eps++ {
-		eps := eps
-		ser, err := nSweep(fmt.Sprintf("Semi-global, epsilon=%d", eps), func(c *Config) {
-			c.Algo = AlgoSemiGlobal
-			c.Ranker = RankKNN
-			c.K = 4
-			c.HopLimit = eps
+			points[i] = point(float64(n), res)
+			return nil
 		})
 		if err != nil {
-			return Figure{}, err
+			return Series{}, err
 		}
-		series = append(series, ser)
+		return Series{Label: label, Points: points}, nil
+	}
+	series := make([]Series, 4)
+	err := forEachIndex(4, func(i int) error {
+		var (
+			ser Series
+			err error
+		)
+		if i == 0 {
+			ser, err = nSweep("Centralized", func(c *Config) { c.Algo = AlgoCentralized; c.Ranker = RankNN })
+		} else {
+			eps := i
+			ser, err = nSweep(fmt.Sprintf("Semi-global, epsilon=%d", eps), func(c *Config) {
+				c.Algo = AlgoSemiGlobal
+				c.Ranker = RankKNN
+				c.K = 4
+				c.HopLimit = eps
+			})
+		}
+		if err != nil {
+			return err
+		}
+		series[i] = ser
+		return nil
+	})
+	if err != nil {
+		return Figure{}, err
 	}
 	return Figure{
 		ID:     "fig9",
@@ -402,19 +459,24 @@ func (s *Session) AccuracyTable(scale Scale) (Figure, error) {
 		Title:  "Detection accuracy (§7.1 reports ≈0.99 for the distributed algorithms)",
 		XLabel: "w",
 	}
-	for _, spec := range specs {
+	fig.Series = make([]Series, len(specs))
+	err := forEachIndex(len(specs), func(i int) error {
 		cfg := scale.base(AlgoGlobal)
-		spec.mutate(&cfg)
+		specs[i].mutate(&cfg)
 		cfg.N = 4
 		cfg.WindowSamples = 20
 		res, err := s.run(cfg)
 		if err != nil {
-			return Figure{}, fmt.Errorf("%s: %w", spec.label, err)
+			return fmt.Errorf("%s: %w", specs[i].label, err)
 		}
-		fig.Series = append(fig.Series, Series{
-			Label:  spec.label,
+		fig.Series[i] = Series{
+			Label:  specs[i].label,
 			Points: []SeriesPoint{point(20, res)},
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return Figure{}, err
 	}
 	return fig, nil
 }
@@ -428,24 +490,31 @@ func (s *Session) ScaleComparison(scale Scale) (Figure, error) {
 		Title:  "Distributed advantage vs network size (TX J per node per round, w=20, n=4)",
 		XLabel: "nodes",
 	}
-	for _, label := range []string{"Centralized", "Global-NN"} {
-		series := Series{Label: label}
-		for _, nodes := range []int{32, 53} {
-			cfg := scale.base(AlgoGlobal)
-			cfg.Nodes = nodes
-			cfg.N = 4
-			cfg.WindowSamples = 20
-			cfg.Ranker = RankNN
-			if label == "Centralized" {
-				cfg.Algo = AlgoCentralized
-			}
-			res, err := s.run(cfg)
-			if err != nil {
-				return Figure{}, fmt.Errorf("%s nodes=%d: %w", label, nodes, err)
-			}
-			series.Points = append(series.Points, point(float64(nodes), res))
+	labels := []string{"Centralized", "Global-NN"}
+	sizes := []int{32, 53}
+	fig.Series = make([]Series, len(labels))
+	for i, label := range labels {
+		fig.Series[i] = Series{Label: label, Points: make([]SeriesPoint, len(sizes))}
+	}
+	err := forEachIndex(len(labels)*len(sizes), func(i int) error {
+		label, nodes := labels[i/len(sizes)], sizes[i%len(sizes)]
+		cfg := scale.base(AlgoGlobal)
+		cfg.Nodes = nodes
+		cfg.N = 4
+		cfg.WindowSamples = 20
+		cfg.Ranker = RankNN
+		if label == "Centralized" {
+			cfg.Algo = AlgoCentralized
 		}
-		fig.Series = append(fig.Series, series)
+		res, err := s.run(cfg)
+		if err != nil {
+			return fmt.Errorf("%s nodes=%d: %w", label, nodes, err)
+		}
+		fig.Series[i/len(sizes)].Points[i%len(sizes)] = point(float64(nodes), res)
+		return nil
+	})
+	if err != nil {
+		return Figure{}, err
 	}
 	return fig, nil
 }

@@ -15,6 +15,7 @@ package runner
 import (
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
 	"innet/internal/baseline"
@@ -105,6 +106,15 @@ type Config struct {
 	// group is transmitted as its own frame instead of the paper's
 	// recipient-tagged single broadcast.
 	PerNeighborFrames bool
+
+	// Workers bounds how many seed simulations of this Run execute
+	// concurrently. Zero (the default) draws slots from the shared
+	// process-wide pool sized runtime.GOMAXPROCS (see DefaultWorkers);
+	// a positive value gives this Run a private pool of that size.
+	// Results are independent of the setting: each seed's simulation is
+	// self-contained and deterministic, and aggregation always proceeds
+	// in seed order.
+	Workers int
 }
 
 func (c *Config) applyDefaults() {
@@ -180,15 +190,36 @@ type Result struct {
 	MedianTxAtDeath float64
 }
 
-// Run executes the experiment cell and averages over its seeds.
+// Run executes the experiment cell, fanning the seeds out across the
+// worker pool (see Config.Workers), and averages over them. The result is
+// identical to a sequential run: seeds share no state and the averages
+// accumulate in seed order regardless of completion order.
 func Run(cfg Config) (Result, error) {
 	cfg.applyDefaults()
+	sem := sharedSlots()
+	if cfg.Workers > 0 {
+		sem = make(chan struct{}, cfg.Workers)
+	}
+	results := make([]Result, len(cfg.Seeds))
+	errs := make([]error, len(cfg.Seeds))
+	var wg sync.WaitGroup
+	for i, seed := range cfg.Seeds {
+		wg.Add(1)
+		go func(i int, seed uint64) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			results[i], errs[i] = runSeed(cfg, seed)
+		}(i, seed)
+	}
+	wg.Wait()
+
 	agg := Result{Config: cfg, MinTotalJ: 0, MaxTotalJ: 0}
-	for _, seed := range cfg.Seeds {
-		one, err := runSeed(cfg, seed)
-		if err != nil {
-			return Result{}, fmt.Errorf("seed %d: %w", seed, err)
+	for i := range cfg.Seeds {
+		if errs[i] != nil {
+			return Result{}, fmt.Errorf("seed %d: %w", cfg.Seeds[i], errs[i])
 		}
+		one := results[i]
 		agg.AvgTxJPerRound += one.AvgTxJPerRound
 		agg.AvgRxJPerRound += one.AvgRxJPerRound
 		agg.AvgTotalJ += one.AvgTotalJ

@@ -1,0 +1,253 @@
+// Command innetd is the streaming ingestion daemon: a long-running
+// process that accepts live sensor observations over HTTP (JSON batches)
+// and UDP (line-protocol firehose), runs the in-network outlier detection
+// fleet on them with time-based sliding windows, and serves outlier
+// estimates, health and metrics over HTTP. See the README's operations
+// guide for endpoints, wire formats and a smoke-test transcript.
+//
+// Usage:
+//
+//	innetd [-http addr] [-udp addr] [-sensors list] [-autojoin]
+//	       [-ranker nn|knn|kthnn|db] [-k n] [-eps α] [-n outliers]
+//	       [-window d] [-hop d] [-queue depth] [-batch max] [-v]
+//
+// Example:
+//
+//	innetd -http :8080 -udp :9971 -sensors 1-9 -ranker knn -k 2 -n 2 -window 10m
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"innet/internal/core"
+	"innet/internal/ingest"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "innetd:", err)
+		os.Exit(1)
+	}
+}
+
+// options is the parsed flag set, separated from flag.Parse so the
+// end-to-end test can drive the daemon in-process.
+type options struct {
+	httpAddr   string
+	udpAddr    string
+	sensors    string
+	autojoin   bool
+	ranker     string
+	k          int
+	eps        float64
+	n          int
+	window     time.Duration
+	hop        int
+	queue      int
+	batch      int
+	maxSensors int
+	verbose    bool
+}
+
+func parseFlags(args []string) (options, error) {
+	fs := flag.NewFlagSet("innetd", flag.ContinueOnError)
+	var o options
+	fs.StringVar(&o.httpAddr, "http", ":8080", "HTTP listen address (API + health + metrics)")
+	fs.StringVar(&o.udpAddr, "udp", "", "UDP line-protocol listen address (empty disables)")
+	fs.StringVar(&o.sensors, "sensors", "", "sensors to attach at startup, e.g. \"1-9\" or \"1,2,5\"")
+	fs.BoolVar(&o.autojoin, "autojoin", true, "attach unknown sensors on first contact")
+	fs.StringVar(&o.ranker, "ranker", "knn", "ranking function: nn, knn, kthnn or db")
+	fs.IntVar(&o.k, "k", 2, "neighbor count for knn/kthnn")
+	fs.Float64Var(&o.eps, "eps", 2, "neighborhood radius α for the db ranker")
+	fs.IntVar(&o.n, "n", 2, "number of outliers to detect")
+	fs.DurationVar(&o.window, "window", 10*time.Minute, "time-based sliding window (0 keeps points forever)")
+	fs.IntVar(&o.hop, "hop", 0, "hop diameter d for semi-global detection (0 = global)")
+	fs.IntVar(&o.queue, "queue", 256, "per-sensor ingest queue depth")
+	fs.IntVar(&o.batch, "batch", 64, "max readings coalesced into one batch-observe event")
+	fs.IntVar(&o.maxSensors, "max-sensors", 1024, "fleet size cap (joins beyond it are rejected)")
+	fs.BoolVar(&o.verbose, "v", false, "log requests and fleet changes")
+	if err := fs.Parse(args); err != nil {
+		return o, err
+	}
+	return o, nil
+}
+
+// buildRanker maps the -ranker/-k/-eps flags to a core.Ranker.
+func buildRanker(o options) (core.Ranker, error) {
+	switch strings.ToLower(o.ranker) {
+	case "nn":
+		return core.NN(), nil
+	case "knn":
+		return core.KNN{K: o.k}, nil
+	case "kthnn":
+		return core.KthNN{K: o.k}, nil
+	case "db":
+		return core.CountWithin{Alpha: o.eps}, nil
+	default:
+		return nil, fmt.Errorf("unknown ranker %q (want nn, knn, kthnn or db)", o.ranker)
+	}
+}
+
+// parseSensorList expands "1-9", "1,2,5" or a mix ("1-3,7") into IDs.
+func parseSensorList(spec string) ([]core.NodeID, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	var out []core.NodeID
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		lo, hi, found := strings.Cut(part, "-")
+		from, err := strconv.ParseUint(strings.TrimSpace(lo), 10, 16)
+		if err != nil {
+			return nil, fmt.Errorf("bad sensor %q", part)
+		}
+		to := from
+		if found {
+			if to, err = strconv.ParseUint(strings.TrimSpace(hi), 10, 16); err != nil || to < from {
+				return nil, fmt.Errorf("bad sensor range %q", part)
+			}
+		}
+		for id := from; id <= to; id++ {
+			out = append(out, core.NodeID(id))
+		}
+	}
+	return out, nil
+}
+
+// daemon bundles the service and its listeners so tests can reach the
+// bound addresses.
+type daemon struct {
+	svc     *ingest.Service
+	httpLn  net.Listener
+	udpConn net.PacketConn
+	logf    func(format string, args ...any)
+}
+
+// newDaemon builds the service, attaches the initial sensors, and binds
+// both listeners (but serves nothing yet; call serve).
+func newDaemon(o options, logf func(string, ...any)) (*daemon, error) {
+	ranker, err := buildRanker(o)
+	if err != nil {
+		return nil, err
+	}
+	svc, err := ingest.New(ingest.Config{
+		Detector: core.Config{
+			Ranker:   ranker,
+			N:        o.n,
+			Window:   o.window,
+			HopLimit: o.hop,
+		},
+		QueueDepth: o.queue,
+		MaxBatch:   o.batch,
+		AutoJoin:   o.autojoin,
+		MaxSensors: o.maxSensors,
+	})
+	if err != nil {
+		return nil, err
+	}
+	initial, err := parseSensorList(o.sensors)
+	if err != nil {
+		svc.Close()
+		return nil, err
+	}
+	for _, id := range initial {
+		if err := svc.Join(id); err != nil {
+			svc.Close()
+			return nil, err
+		}
+	}
+
+	d := &daemon{svc: svc, logf: logf}
+	if d.httpLn, err = net.Listen("tcp", o.httpAddr); err != nil {
+		svc.Close()
+		return nil, err
+	}
+	if o.udpAddr != "" {
+		if d.udpConn, err = net.ListenPacket("udp", o.udpAddr); err != nil {
+			d.httpLn.Close()
+			svc.Close()
+			return nil, err
+		}
+	}
+	return d, nil
+}
+
+// logRequests is the -v middleware: one line per API call.
+func logRequests(logf func(string, ...any), next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		next.ServeHTTP(w, r)
+		logf("innetd: %s %s (%s)", r.Method, r.URL.Path, time.Since(start).Round(time.Microsecond))
+	})
+}
+
+// serve runs both listeners until ctx is canceled, then shuts down in
+// order: stop accepting HTTP, close the UDP socket, close the fleet.
+func (d *daemon) serve(ctx context.Context, verbose bool) error {
+	handler := d.svc.Handler()
+	if verbose {
+		handler = logRequests(d.logf, handler)
+	}
+	httpSrv := &http.Server{Handler: handler}
+	httpDone := make(chan error, 1)
+	go func() { httpDone <- httpSrv.Serve(d.httpLn) }()
+
+	udpDone := make(chan error, 1)
+	if d.udpConn != nil {
+		go func() { udpDone <- d.svc.ServeUDP(d.udpConn) }()
+	} else {
+		udpDone <- nil
+	}
+
+	d.logf("innetd: http on %s", d.httpLn.Addr())
+	if d.udpConn != nil {
+		d.logf("innetd: udp firehose on %s", d.udpConn.LocalAddr())
+	}
+
+	<-ctx.Done()
+	d.logf("innetd: shutting down")
+
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	errShutdown := httpSrv.Shutdown(shutdownCtx)
+	if err := <-httpDone; err != nil && !errors.Is(err, http.ErrServerClosed) && errShutdown == nil {
+		errShutdown = err
+	}
+	if d.udpConn != nil {
+		d.udpConn.Close()
+	}
+	if err := <-udpDone; err != nil && !errors.Is(err, net.ErrClosed) && !errors.Is(err, ingest.ErrClosed) && errShutdown == nil {
+		errShutdown = err
+	}
+	if err := d.svc.Close(); err != nil && errShutdown == nil {
+		errShutdown = err
+	}
+	d.logf("innetd: fleet drained, bye")
+	return errShutdown
+}
+
+func run(args []string) error {
+	o, err := parseFlags(args)
+	if err != nil {
+		return err
+	}
+	d, err := newDaemon(o, log.New(os.Stderr, "", log.LstdFlags).Printf)
+	if err != nil {
+		return err
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	return d.serve(ctx, o.verbose)
+}

@@ -1,7 +1,12 @@
-// Livenet runs the algorithm the way a deployment would: one goroutine
-// per sensor on an in-memory broadcast mesh, streaming data with a
-// sliding window, surviving a sensor joining mid-run and a link failure —
-// the paper's dynamic-data and dynamic-topology claims, live.
+// Livenet runs the algorithm the way a deployment would — through the
+// streaming ingestion layer that backs the innetd daemon: a managed
+// fleet of one-goroutine-per-sensor peers on a multi-hop mesh, fed live
+// readings with a sliding window, surviving a sensor joining mid-run and
+// another powering down — the paper's dynamic-data and dynamic-topology
+// claims, live.
+//
+// Every error propagates to main and the fleet shuts down cleanly on all
+// paths: no goroutine outlives the run.
 package main
 
 import (
@@ -9,72 +14,75 @@ import (
 	"fmt"
 	"log"
 	"math/rand/v2"
-	"sync"
 	"time"
 
 	"innet/internal/core"
-	"innet/internal/peer"
+	"innet/internal/ingest"
 )
 
+const (
+	initialPeers = 9
+	gridCols     = 3
+)
+
+// gridTopology links a joining sensor to its 3×3 grid neighbors that are
+// already attached (sensor 10, the latecomer, hangs off sensor 9) —
+// the same multi-hop mesh the raw-peer version of this example built by
+// hand, now expressed as an ingest topology policy.
+func gridTopology(joining core.NodeID, existing []core.NodeID) []core.NodeID {
+	wanted := map[core.NodeID]bool{}
+	if joining > initialPeers {
+		wanted[initialPeers] = true // latecomers attach at the grid's edge
+	} else {
+		i := int(joining)
+		if i%gridCols != 1 {
+			wanted[core.NodeID(i-1)] = true
+		}
+		if i%gridCols != 0 {
+			wanted[core.NodeID(i+1)] = true
+		}
+		wanted[core.NodeID(i-gridCols)] = true
+		wanted[core.NodeID(i+gridCols)] = true
+	}
+	var out []core.NodeID
+	for _, id := range existing {
+		if wanted[id] {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
 func main() {
-	ctx, cancel := context.WithCancel(context.Background())
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
 	defer cancel()
 
-	const (
-		initialPeers = 9
-		n            = 2
-	)
-	mesh := peer.NewMesh()
-	peers := make(map[core.NodeID]*peer.Peer)
-	var wg sync.WaitGroup
-
-	spawn := func(id core.NodeID) *peer.Peer {
-		tr, err := mesh.Attach(id)
-		if err != nil {
-			log.Fatal(err)
-		}
-		p, err := peer.New(peer.Config{
-			Detector: core.Config{
-				Node:   id,
-				Ranker: core.KNN{K: 2},
-				N:      n,
-				Window: time.Hour,
-			},
-			Transport: tr,
-		})
-		if err != nil {
-			log.Fatal(err)
-		}
-		peers[id] = p
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			_ = p.Run(ctx)
-		}()
-		return p
+	svc, err := ingest.New(ingest.Config{
+		Detector: core.Config{
+			Ranker: core.KNN{K: 2},
+			N:      2,
+			Window: time.Hour,
+		},
+		AutoJoin: true, // sensor 10 attaches on first contact below
+		Topology: gridTopology,
+	})
+	if err != nil {
+		return err
 	}
+	defer svc.Close() // every goroutine is reaped on all return paths
 
-	link := func(a, b core.NodeID) {
-		if err := mesh.Connect(a, b); err != nil {
-			log.Fatal(err)
-		}
-		must(peers[a].AddNeighbor(ctx, b))
-		must(peers[b].AddNeighbor(ctx, a))
-	}
-
-	// A 3×3 grid of sensors.
 	for i := 1; i <= initialPeers; i++ {
-		spawn(core.NodeID(i))
-	}
-	for i := 1; i <= initialPeers; i++ {
-		if i%3 != 0 {
-			link(core.NodeID(i), core.NodeID(i+1))
-		}
-		if i+3 <= initialPeers {
-			link(core.NodeID(i), core.NodeID(i+3))
+		if err := svc.Join(core.NodeID(i)); err != nil {
+			return fmt.Errorf("join sensor %d: %w", i, err)
 		}
 	}
-	fmt.Printf("started %d live sensor goroutines on a 3×3 mesh\n", initialPeers)
+	fmt.Printf("started %d live sensor goroutines on a 3×3 mesh behind the ingest layer\n", initialPeers)
 
 	// Stream three rounds of readings; one sensor misbehaves.
 	rng := rand.New(rand.NewPCG(5, 5))
@@ -84,52 +92,68 @@ func main() {
 			if id == 7 && round == 2 {
 				v = 55.3 // stuck-at-rail fault
 			}
-			must(peers[id].Observe(ctx, time.Duration(round)*time.Minute, v))
+			if err := svc.Ingest(ingest.Reading{
+				Sensor: id,
+				At:     time.Duration(round) * time.Minute,
+				Values: []float64{v},
+			}); err != nil {
+				return fmt.Errorf("ingest round %d sensor %d: %w", round, id, err)
+			}
 		}
 	}
-	waitQuiet(ctx, mesh)
-
-	est := peers[1].Estimate()
-	fmt.Printf("after 3 rounds every sensor agrees on the outliers: %s\n", describe(est))
+	if err := svc.Flush(ctx); err != nil {
+		return fmt.Errorf("network did not settle: %w", err)
+	}
+	if err := printEstimate(svc, 1, "after 3 rounds every sensor agrees on the outliers"); err != nil {
+		return err
+	}
 
 	// A new sensor joins mid-run with suspicious data.
 	fmt.Println("\nsensor 10 joins the mesh with its own readings…")
-	p10 := spawn(10)
-	link(10, 9)
-	must(p10.Observe(ctx, 2*time.Minute, 19.5))
-	must(p10.Observe(ctx, 2*time.Minute, -40.0)) // frozen battery fault
-	waitQuiet(ctx, mesh)
-
+	for _, v := range []float64{19.5, -40.0} { // second reading: frozen battery fault
+		if err := svc.Ingest(ingest.Reading{Sensor: 10, At: 2 * time.Minute, Values: []float64{v}}); err != nil {
+			return fmt.Errorf("ingest sensor 10: %w", err)
+		}
+	}
+	if err := svc.Flush(ctx); err != nil {
+		return fmt.Errorf("network did not settle: %w", err)
+	}
 	for _, id := range []core.NodeID{1, 5, 10} {
-		fmt.Printf("  sensor %2d sees: %s\n", id, describe(peers[id].Estimate()))
+		if err := printEstimate(svc, id, fmt.Sprintf("  sensor %2d sees", id)); err != nil {
+			return err
+		}
 	}
 
-	// A link fails; the mesh stays connected and the answer survives.
-	fmt.Println("\nlink 5—6 fails…")
-	mesh.Disconnect(5, 6)
-	must(peers[5].RemoveNeighbor(ctx, 6))
-	must(peers[6].RemoveNeighbor(ctx, 5))
-	must(peers[3].Observe(ctx, 3*time.Minute, 20.4)) // fresh data still flows
-	waitQuiet(ctx, mesh)
-	fmt.Printf("  sensor  6 still sees: %s\n", describe(peers[6].Estimate()))
+	// A sensor powers down; the mesh stays connected and the answer
+	// survives — its points age out of the windows, as §5.3 prescribes.
+	fmt.Println("\nsensor 5 powers down…")
+	if err := svc.Leave(5); err != nil {
+		return fmt.Errorf("leave sensor 5: %w", err)
+	}
+	if err := svc.Ingest(ingest.Reading{Sensor: 3, At: 3 * time.Minute, Values: []float64{20.4}}); err != nil {
+		return fmt.Errorf("ingest after leave: %w", err) // fresh data still flows
+	}
+	if err := svc.Flush(ctx); err != nil {
+		return fmt.Errorf("network did not settle: %w", err)
+	}
+	if err := printEstimate(svc, 6, "  sensor  6 still sees"); err != nil {
+		return err
+	}
 
-	cancel()
-	wg.Wait()
+	if err := svc.Close(); err != nil {
+		return err
+	}
 	fmt.Println("\nall goroutines drained; bye")
+	return nil
 }
 
-func must(err error) {
+func printEstimate(svc *ingest.Service, id core.NodeID, label string) error {
+	est, err := svc.Estimate(id)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-}
-
-func waitQuiet(ctx context.Context, mesh *peer.Mesh) {
-	wctx, cancel := context.WithTimeout(ctx, 30*time.Second)
-	defer cancel()
-	if err := mesh.WaitQuiescent(wctx); err != nil {
-		log.Fatal("network did not settle: ", err)
-	}
+	fmt.Printf("%s: %s\n", label, describe(est))
+	return nil
 }
 
 func describe(pts []core.Point) string {

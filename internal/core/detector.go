@@ -422,6 +422,41 @@ func (d *Detector) StepObserve(now time.Duration, p Point) *Outbound {
 	return d.react()
 }
 
+// Observation is one raw reading of a batch: the sample timestamp and the
+// feature vector, before a Point identity is assigned. It is the unit the
+// streaming ingestion layer (internal/ingest) queues per sensor.
+type Observation struct {
+	Birth time.Duration
+	Value []float64
+}
+
+// StepObserveBatch advances the clock (evicting expired window contents)
+// and records a burst of readings as a single data-change event with a
+// single reaction — the ingestion fast path: a burst of b readings costs
+// one ranking pass instead of b. Points are assigned consecutive sequence
+// numbers in slice order and each keeps its own birth timestamp, so the
+// resulting detector state (P_i, D_i, clock, sequence counter, estimate)
+// is identical to calling AdvanceTo(now) followed by one ObservePoint per
+// reading; only the interim broadcasts — which the very next observation
+// would have superseded — are skipped. With an empty batch it degenerates
+// to AdvanceTo.
+func (d *Detector) StepObserveBatch(now time.Duration, obs []Observation) ([]Point, *Outbound) {
+	evicted := d.advance(now)
+	if len(obs) == 0 && !evicted {
+		return nil, nil
+	}
+	pts := make([]Point, len(obs))
+	for i, o := range obs {
+		p := NewPoint(d.cfg.Node, d.nextSeq, o.Birth, o.Value...)
+		d.nextSeq++
+		d.own.Add(p)
+		d.held.Add(p)
+		pts[i] = p
+	}
+	d.stats.Events++
+	return pts, d.react()
+}
+
 // RemoveOrigin explicitly deletes every held point that originated at the
 // given (removed) sensor, the eager variant of sensor removal sketched in
 // §5.3. The deletion is a data-change event.

@@ -1,0 +1,228 @@
+package ingest
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"innet/internal/core"
+)
+
+// HTTP wire types. Timestamps travel as integer milliseconds of data
+// time, matching the wire codec's birth encoding.
+
+// WireReading is one reading in a POST /v1/observations batch.
+type WireReading struct {
+	Sensor uint16    `json:"sensor"`
+	AtMS   int64     `json:"at_ms"`
+	Values []float64 `json:"values"`
+}
+
+// WireBatch is the POST /v1/observations request body.
+type WireBatch struct {
+	Readings []WireReading `json:"readings"`
+}
+
+// WireRejection explains one reading the batch endpoint did not admit.
+type WireRejection struct {
+	Index int    `json:"index"`
+	Error string `json:"error"`
+}
+
+// WireBatchResult is the POST /v1/observations response body.
+type WireBatchResult struct {
+	Accepted int             `json:"accepted"`
+	Rejected []WireRejection `json:"rejected,omitempty"`
+}
+
+// WireOutlier is one estimated outlier on the query endpoint.
+type WireOutlier struct {
+	Sensor uint16    `json:"sensor"`
+	Seq    uint32    `json:"seq"`
+	AtMS   int64     `json:"at_ms"`
+	Values []float64 `json:"values"`
+}
+
+// WireEstimate is the GET /v1/outliers response body: the estimate as
+// seen by one sensor (after a quiescent exchange all sensors running the
+// global algorithm agree).
+type WireEstimate struct {
+	Sensor   uint16        `json:"sensor"`
+	Outliers []WireOutlier `json:"outliers"`
+}
+
+// Handler returns the daemon's HTTP API:
+//
+//	POST   /v1/observations   ingest a JSON batch of readings
+//	GET    /v1/outliers       current estimate (?sensor=ID, default lowest)
+//	GET    /v1/sensors        attached sensor IDs and queue depths
+//	POST   /v1/sensors/{id}   join a sensor explicitly
+//	DELETE /v1/sensors/{id}   leave (detach) a sensor
+//	GET    /healthz           liveness + fleet size
+//	GET    /metrics           counters in Prometheus text format
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/observations", s.handleObservations)
+	mux.HandleFunc("GET /v1/outliers", s.handleOutliers)
+	mux.HandleFunc("GET /v1/sensors", s.handleSensors)
+	mux.HandleFunc("POST /v1/sensors/{id}", s.handleJoin)
+	mux.HandleFunc("DELETE /v1/sensors/{id}", s.handleLeave)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func (s *Service) handleObservations(w http.ResponseWriter, r *http.Request) {
+	var batch WireBatch
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 8<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&batch); err != nil {
+		s.malformed.Add(1)
+		writeError(w, http.StatusBadRequest, fmt.Errorf("ingest: bad batch: %w", err))
+		return
+	}
+	result := WireBatchResult{}
+	for i, wr := range batch.Readings {
+		err := s.Ingest(Reading{
+			Sensor: core.NodeID(wr.Sensor),
+			At:     time.Duration(wr.AtMS) * time.Millisecond,
+			Values: wr.Values,
+		})
+		if err != nil {
+			result.Rejected = append(result.Rejected, WireRejection{Index: i, Error: err.Error()})
+			continue
+		}
+		result.Accepted++
+	}
+	status := http.StatusAccepted
+	if result.Accepted == 0 && len(result.Rejected) > 0 {
+		status = http.StatusBadRequest
+	}
+	writeJSON(w, status, result)
+}
+
+func (s *Service) handleOutliers(w http.ResponseWriter, r *http.Request) {
+	var id core.NodeID
+	if q := r.URL.Query().Get("sensor"); q != "" {
+		n, err := strconv.ParseUint(q, 10, 16)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("ingest: bad sensor %q", q))
+			return
+		}
+		id = core.NodeID(n)
+	} else {
+		ids := s.Sensors()
+		if len(ids) == 0 {
+			writeError(w, http.StatusNotFound, errors.New("ingest: no sensors attached"))
+			return
+		}
+		id = ids[0]
+	}
+	est, err := s.Estimate(id)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	resp := WireEstimate{Sensor: uint16(id), Outliers: make([]WireOutlier, 0, len(est))}
+	for _, p := range est {
+		resp.Outliers = append(resp.Outliers, WireOutlier{
+			Sensor: uint16(p.ID.Origin),
+			Seq:    p.ID.Seq,
+			AtMS:   p.Birth.Milliseconds(),
+			Values: p.Value,
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Service) handleSensors(w http.ResponseWriter, _ *http.Request) {
+	type sensorInfo struct {
+		ID    uint16 `json:"id"`
+		Queue int    `json:"queue"`
+	}
+	ids := s.Sensors()
+	out := make([]sensorInfo, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, sensorInfo{ID: uint16(id), Queue: s.QueueDepth(id)})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"sensors": out})
+}
+
+func pathSensorID(r *http.Request) (core.NodeID, error) {
+	n, err := strconv.ParseUint(r.PathValue("id"), 10, 16)
+	if err != nil {
+		return 0, fmt.Errorf("ingest: bad sensor id %q", r.PathValue("id"))
+	}
+	return core.NodeID(n), nil
+}
+
+func (s *Service) handleJoin(w http.ResponseWriter, r *http.Request) {
+	id, err := pathSensorID(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	switch err := s.Join(id); {
+	case err == nil:
+		writeJSON(w, http.StatusCreated, map[string]any{"joined": uint16(id)})
+	case errors.Is(err, ErrAlreadyJoined):
+		writeError(w, http.StatusConflict, err)
+	default:
+		writeError(w, http.StatusBadRequest, err)
+	}
+}
+
+func (s *Service) handleLeave(w http.ResponseWriter, r *http.Request) {
+	id, err := pathSensorID(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := s.Leave(id); err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"left": uint16(id)})
+}
+
+func (s *Service) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":  "ok",
+		"sensors": len(s.Sensors()),
+	})
+}
+
+func (s *Service) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	st := s.Stats()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	for _, m := range []struct {
+		name  string
+		value uint64
+	}{
+		{"innetd_readings_accepted_total", st.Accepted},
+		{"innetd_readings_observed_total", st.Observed},
+		{"innetd_observe_batches_total", st.Batches},
+		{"innetd_readings_dropped_total", st.Dropped},
+		{"innetd_readings_stale_total", st.Stale},
+		{"innetd_readings_malformed_total", st.Malformed},
+		{"innetd_readings_unknown_sensor_total", st.Unknown},
+		{"innetd_sensor_joins_total", st.Joins},
+		{"innetd_sensor_leaves_total", st.Leaves},
+		{"innetd_sensors", uint64(st.Sensors)},
+	} {
+		fmt.Fprintf(w, "%s %d\n", m.name, m.value)
+	}
+}

@@ -1,0 +1,543 @@
+// Package ingest is the streaming front door of the system: it accepts
+// live observations, validates and routes them by sensor ID into a
+// managed fleet of peer.Peers, and serves the resulting outlier estimates
+// — the daemon engine behind cmd/innetd. Where internal/dataset replays
+// pre-generated streams and internal/protocol drives the discrete-event
+// simulator, this package ingests data that arrives from outside the
+// process, at whatever rate and order the outside chooses.
+//
+// # Data path
+//
+// A Reading (sensor ID, timestamp, feature vector) enters through
+// Service.Ingest — called by the HTTP batch endpoint ([Service.Handler])
+// and the UDP line-protocol listener ([Service.ServeUDP]) — and flows:
+//
+//	Ingest → validate → per-sensor bounded queue → feeder goroutine
+//	       → Peer.ObserveBatch (one ranking pass per drained burst)
+//	       → broadcast on the in-memory mesh → neighbors converge
+//
+// Each sensor owns one queue and one feeder goroutine on top of the
+// peer's own event goroutine. The feeder drains whatever has accumulated
+// (up to Config.MaxBatch) into a single batch-observe event, so a sensor
+// that falls behind catches up with one ranking pass instead of one per
+// queued reading.
+//
+// # Backpressure and drop policy
+//
+// Queues are bounded (Config.QueueDepth). When a producer finds a queue
+// full, the oldest queued reading is dropped to make room — latest wins.
+// The rationale: under a sliding window the newest data is the data that
+// will survive longest, and the detector tolerates gaps by design (the
+// paper's loss model), so shedding the stalest backlog degrades answers
+// the least. Drops are counted per service (Stats.Dropped) and surfaced
+// through /metrics; ingestion itself never blocks on a slow detector.
+//
+// # Timestamps
+//
+// Time is data time, not wall time: a sensor's clock advances to the
+// newest timestamp it has ingested, and window eviction follows that
+// clock. Readings may arrive out of order within the window — points
+// carry their own birth timestamps, so eviction order is unaffected.
+// A reading older than (newest seen for that sensor − Window) would be
+// evicted by the very next advance; it is rejected up front as stale and
+// counted in Stats.Stale.
+//
+// # Join and leave
+//
+// Sensors attach dynamically: Join builds a peer, attaches it to the
+// mesh, links it to the neighbors chosen by Config.Topology (default:
+// every existing sensor, a clique) and delivers link-up events on both
+// ends. Unknown sensor IDs auto-join on first contact when
+// Config.AutoJoin is set, otherwise they are rejected and counted.
+// Leave detaches the peer — remaining sensors receive link-down events,
+// and the departed sensor's points age out of their windows as §5.3 of
+// the paper prescribes — then reaps both goroutines. Close does this for
+// the whole fleet at once via context cancellation.
+package ingest
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"innet/internal/core"
+	"innet/internal/peer"
+)
+
+// Validation errors returned by Service.Ingest (and surfaced per reading
+// by the HTTP endpoint).
+var (
+	ErrClosed        = errors.New("ingest: service closed")
+	ErrUnknownSensor = errors.New("ingest: unknown sensor (auto-join disabled)")
+	ErrStale         = errors.New("ingest: reading older than the sliding window")
+	ErrBadReading    = errors.New("ingest: malformed reading")
+	ErrAlreadyJoined = errors.New("ingest: sensor already joined")
+	ErrFleetFull     = errors.New("ingest: sensor limit reached")
+)
+
+// Reading is one observation as it arrives from the outside world.
+type Reading struct {
+	Sensor core.NodeID
+	At     time.Duration // data-time timestamp (offset from stream epoch)
+	Values []float64     // feature vector, e.g. temperature [, x, y]
+}
+
+func (r Reading) validate() error {
+	switch {
+	case r.Sensor == 0:
+		return fmt.Errorf("%w: sensor id 0 is reserved", ErrBadReading)
+	case r.At < 0:
+		return fmt.Errorf("%w: negative timestamp %v", ErrBadReading, r.At)
+	case len(r.Values) == 0:
+		return fmt.Errorf("%w: empty feature vector", ErrBadReading)
+	case len(r.Values) > 255:
+		return fmt.Errorf("%w: %d features exceeds the wire format's 255", ErrBadReading, len(r.Values))
+	}
+	for _, v := range r.Values {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("%w: non-finite feature %v", ErrBadReading, v)
+		}
+	}
+	return nil
+}
+
+// Config parameterizes a Service.
+type Config struct {
+	// Detector is the per-sensor detector configuration; Node is
+	// overwritten with each sensor's ID. Ranker and N are required.
+	Detector core.Config
+
+	// QueueDepth bounds each sensor's ingest queue; when full, the
+	// oldest queued reading is dropped (latest wins). Default 256.
+	QueueDepth int
+
+	// MaxBatch caps how many queued readings one feeder pass drains
+	// into a single batch-observe event. Default 64.
+	MaxBatch int
+
+	// AutoJoin makes readings for unknown sensor IDs attach the sensor
+	// on first contact instead of being rejected.
+	AutoJoin bool
+
+	// MaxSensors caps the fleet size; Join — including auto-join —
+	// beyond it returns ErrFleetFull. The cap is what stands between
+	// unauthenticated input and unbounded goroutines (each sensor costs
+	// two goroutines, a detector, and O(fleet) mesh links under the
+	// default clique topology). Default 1024.
+	MaxSensors int
+
+	// Topology picks which existing sensors a joining sensor links to.
+	// Nil links to every existing sensor (a clique), which makes every
+	// estimate global. innetd keeps the default; embedders (see
+	// examples/livenet) can shape multi-hop meshes.
+	Topology func(joining core.NodeID, existing []core.NodeID) []core.NodeID
+}
+
+func (c *Config) applyDefaults() {
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 256
+	}
+	if c.MaxBatch == 0 {
+		c.MaxBatch = 64
+	}
+	if c.MaxSensors == 0 {
+		c.MaxSensors = 1024
+	}
+}
+
+// Stats is a snapshot of the service counters.
+type Stats struct {
+	Accepted  uint64 // readings admitted to a queue
+	Observed  uint64 // readings fed into a detector
+	Batches   uint64 // batch-observe events (ranking passes)
+	Dropped   uint64 // readings shed by the latest-wins policy
+	Stale     uint64 // readings rejected as older than the window
+	Malformed uint64 // payloads/lines/readings that failed to parse
+	Unknown   uint64 // readings rejected for unknown sensor IDs
+	Joins     uint64 // sensors attached (initial + dynamic)
+	Leaves    uint64 // sensors detached
+	Sensors   int    // currently attached sensors
+}
+
+// sensor is one attached sensor: its peer, its bounded queue, and its
+// feeder goroutine's lifecycle handles.
+type sensor struct {
+	id    core.NodeID
+	peer  *peer.Peer
+	queue chan core.Observation
+
+	latest   atomic.Int64 // newest ingested timestamp, nanoseconds
+	stop     chan struct{}
+	feedDone chan struct{}
+	runDone  chan struct{}
+}
+
+// Service owns the fleet: the mesh, one sensor record per attached ID,
+// and the shared counters. All methods are safe for concurrent use.
+type Service struct {
+	cfg    Config
+	mesh   *peer.Mesh
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu      sync.RWMutex // guards sensors and closed; Ingest enqueues under RLock
+	sensors map[core.NodeID]*sensor
+	closed  bool
+
+	pending atomic.Int64 // accepted but not yet observed (Flush watches this)
+
+	accepted, observed, batches atomic.Uint64
+	dropped, stale, malformed   atomic.Uint64
+	unknown, joins, leaves      atomic.Uint64
+}
+
+// New validates cfg and returns a running (but empty) service. Sensors
+// attach via Join or, with cfg.AutoJoin, on first contact.
+func New(cfg Config) (*Service, error) {
+	cfg.applyDefaults()
+	probe := cfg.Detector
+	probe.Node = 1
+	if _, err := core.NewDetector(probe); err != nil {
+		return nil, err
+	}
+	if cfg.QueueDepth < 1 || cfg.MaxBatch < 1 || cfg.MaxSensors < 1 {
+		return nil, errors.New("ingest: QueueDepth, MaxBatch and MaxSensors must be positive")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Service{
+		cfg:     cfg,
+		mesh:    peer.NewMesh(),
+		ctx:     ctx,
+		cancel:  cancel,
+		sensors: make(map[core.NodeID]*sensor),
+	}, nil
+}
+
+// Join attaches a sensor: a peer on the mesh, linked to the sensors the
+// topology selects, with its queue and feeder running. Joining an
+// attached sensor or a closed service is an error.
+func (s *Service) Join(id core.NodeID) error {
+	if id == 0 {
+		return fmt.Errorf("%w: sensor id 0 is reserved", ErrBadReading)
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	if _, dup := s.sensors[id]; dup {
+		s.mu.Unlock()
+		return fmt.Errorf("%w: %d", ErrAlreadyJoined, id)
+	}
+	if len(s.sensors) >= s.cfg.MaxSensors {
+		s.mu.Unlock()
+		return fmt.Errorf("%w: %d sensors attached", ErrFleetFull, len(s.sensors))
+	}
+	existing := make([]core.NodeID, 0, len(s.sensors))
+	for other := range s.sensors {
+		existing = append(existing, other)
+	}
+	sort.Slice(existing, func(i, j int) bool { return existing[i] < existing[j] })
+
+	tr, err := s.mesh.Attach(id)
+	if err != nil {
+		s.mu.Unlock()
+		return err
+	}
+	det := s.cfg.Detector
+	det.Node = id
+	p, err := peer.New(peer.Config{Detector: det, Transport: tr})
+	if err != nil {
+		s.mesh.Detach(id)
+		s.mu.Unlock()
+		return err
+	}
+	sn := &sensor{
+		id:       id,
+		peer:     p,
+		queue:    make(chan core.Observation, s.cfg.QueueDepth),
+		stop:     make(chan struct{}),
+		feedDone: make(chan struct{}),
+		runDone:  make(chan struct{}),
+	}
+	s.sensors[id] = sn
+	neighbors := existing
+	if s.cfg.Topology != nil {
+		neighbors = s.cfg.Topology(id, existing)
+	}
+	s.mu.Unlock()
+
+	go func() {
+		defer close(sn.runDone)
+		_ = p.Run(s.ctx)
+	}()
+	go s.feed(sn)
+
+	for _, nb := range neighbors {
+		s.mu.RLock()
+		other, ok := s.sensors[nb]
+		s.mu.RUnlock()
+		if !ok {
+			continue // left while we were joining; fine
+		}
+		if err := s.mesh.Connect(id, nb); err != nil {
+			continue
+		}
+		if err := p.AddNeighbor(s.ctx, nb); err != nil {
+			return err
+		}
+		if err := other.peer.AddNeighbor(s.ctx, id); err != nil {
+			return err
+		}
+	}
+	s.joins.Add(1)
+	return nil
+}
+
+// Leave detaches a sensor: its queue is drained, its goroutines reaped,
+// and every remaining neighbor receives a link-down event. Points the
+// fleet already received from the departed sensor stay held and age out
+// of the sliding windows (§5.3); they are not eagerly purged.
+func (s *Service) Leave(id core.NodeID) error {
+	s.mu.Lock()
+	sn, ok := s.sensors[id]
+	if !ok {
+		s.mu.Unlock()
+		return fmt.Errorf("ingest: sensor %d not joined", id)
+	}
+	delete(s.sensors, id)
+	s.mu.Unlock()
+	// From here no new Ingest can reach sn: lookups go through the map,
+	// and in-flight enqueues finished before the write lock was granted.
+
+	neighbors := s.mesh.Neighbors(id)
+
+	close(sn.stop)
+	<-sn.feedDone
+drain: // shed whatever the feeder left behind
+	for {
+		select {
+		case <-sn.queue:
+			s.pending.Add(-1)
+			s.dropped.Add(1)
+		default:
+			break drain
+		}
+	}
+
+	s.mesh.Detach(id) // closes the inbox → Run returns nil
+	<-sn.runDone
+	for _, nb := range neighbors {
+		s.mu.RLock()
+		other, ok := s.sensors[nb]
+		s.mu.RUnlock()
+		if ok {
+			_ = other.peer.RemoveNeighbor(s.ctx, id)
+		}
+	}
+	s.leaves.Add(1)
+	return nil
+}
+
+// Ingest validates one reading and routes it to its sensor's queue,
+// auto-joining unknown sensors when configured. It never blocks on a
+// slow detector: a full queue sheds its oldest reading instead.
+func (s *Service) Ingest(r Reading) error {
+	if err := r.validate(); err != nil {
+		s.malformed.Add(1)
+		return err
+	}
+	for {
+		s.mu.RLock()
+		if s.closed {
+			s.mu.RUnlock()
+			return ErrClosed
+		}
+		sn, ok := s.sensors[r.Sensor]
+		if !ok {
+			s.mu.RUnlock()
+			if !s.cfg.AutoJoin {
+				s.unknown.Add(1)
+				return fmt.Errorf("%w: sensor %d", ErrUnknownSensor, r.Sensor)
+			}
+			// A concurrent Ingest may join the sensor first; losing
+			// that race is success, so retry the lookup.
+			if err := s.Join(r.Sensor); err != nil && !errors.Is(err, ErrAlreadyJoined) {
+				return err
+			}
+			continue
+		}
+		err := s.enqueue(sn, r)
+		s.mu.RUnlock()
+		return err
+	}
+}
+
+// enqueue admits the reading under the service read lock (which excludes
+// Leave/Close), applying the staleness gate and the latest-wins policy.
+func (s *Service) enqueue(sn *sensor, r Reading) error {
+	if w := s.cfg.Detector.Window; w > 0 {
+		if latest := time.Duration(sn.latest.Load()); r.At < latest-w {
+			s.stale.Add(1)
+			return fmt.Errorf("%w: %v is older than %v − %v", ErrStale, r.At, latest, w)
+		}
+	}
+	for prev := sn.latest.Load(); int64(r.At) > prev; prev = sn.latest.Load() {
+		if sn.latest.CompareAndSwap(prev, int64(r.At)) {
+			break
+		}
+	}
+	obs := core.Observation{Birth: r.At, Value: r.Values}
+	for {
+		select {
+		case sn.queue <- obs:
+			s.pending.Add(1)
+			s.accepted.Add(1)
+			return nil
+		default:
+		}
+		select {
+		case <-sn.queue: // full: shed the oldest queued reading
+			s.pending.Add(-1)
+			s.dropped.Add(1)
+		default:
+		}
+	}
+}
+
+// feed is the per-sensor consumer: it drains bursts from the queue and
+// feeds each as one batch-observe event.
+func (s *Service) feed(sn *sensor) {
+	defer close(sn.feedDone)
+	for {
+		var first core.Observation
+		select {
+		case <-s.ctx.Done():
+			return
+		case <-sn.stop:
+			return
+		case first = <-sn.queue:
+		}
+		batch := append(make([]core.Observation, 0, s.cfg.MaxBatch), first)
+	drain:
+		for len(batch) < s.cfg.MaxBatch {
+			select {
+			case o := <-sn.queue:
+				batch = append(batch, o)
+			default:
+				break drain
+			}
+		}
+		now := time.Duration(sn.latest.Load())
+		for _, o := range batch {
+			if o.Birth > now {
+				now = o.Birth
+			}
+		}
+		err := sn.peer.ObserveBatch(s.ctx, now, batch)
+		s.pending.Add(-int64(len(batch)))
+		if err != nil {
+			return // service shutting down
+		}
+		s.observed.Add(uint64(len(batch)))
+		s.batches.Add(1)
+	}
+}
+
+// Flush blocks until every reading ingested so far has been observed by
+// its detector and the mesh is quiescent — i.e. the fleet's estimates
+// have converged on the data ingested before the call.
+func (s *Service) Flush(ctx context.Context) error {
+	for s.pending.Load() != 0 {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-s.ctx.Done():
+			return ErrClosed
+		case <-time.After(200 * time.Microsecond):
+		}
+	}
+	return s.mesh.WaitQuiescent(ctx)
+}
+
+// Estimate returns the current outlier estimate as seen by the given
+// sensor, or an error if it is not attached.
+func (s *Service) Estimate(id core.NodeID) ([]core.Point, error) {
+	s.mu.RLock()
+	sn, ok := s.sensors[id]
+	s.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("ingest: sensor %d not joined", id)
+	}
+	return sn.peer.Estimate(), nil
+}
+
+// Sensors returns the attached sensor IDs, sorted.
+func (s *Service) Sensors() []core.NodeID {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ids := make([]core.NodeID, 0, len(s.sensors))
+	for id := range s.sensors {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// QueueDepth reports how many readings are queued for the given sensor.
+func (s *Service) QueueDepth(id core.NodeID) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if sn, ok := s.sensors[id]; ok {
+		return len(sn.queue)
+	}
+	return 0
+}
+
+// Stats snapshots the service counters.
+func (s *Service) Stats() Stats {
+	s.mu.RLock()
+	n := len(s.sensors)
+	s.mu.RUnlock()
+	return Stats{
+		Accepted:  s.accepted.Load(),
+		Observed:  s.observed.Load(),
+		Batches:   s.batches.Load(),
+		Dropped:   s.dropped.Load(),
+		Stale:     s.stale.Load(),
+		Malformed: s.malformed.Load(),
+		Unknown:   s.unknown.Load(),
+		Joins:     s.joins.Load(),
+		Leaves:    s.leaves.Load(),
+		Sensors:   n,
+	}
+}
+
+// Close stops the fleet: ingestion is refused, every peer and feeder
+// goroutine exits via context cancellation, and Close returns once all
+// of them have. It is idempotent.
+func (s *Service) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	fleet := make([]*sensor, 0, len(s.sensors))
+	for _, sn := range s.sensors {
+		fleet = append(fleet, sn)
+	}
+	s.mu.Unlock()
+
+	s.cancel()
+	for _, sn := range fleet {
+		<-sn.feedDone
+		<-sn.runDone
+	}
+	return nil
+}

@@ -1,0 +1,102 @@
+package ingest
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"strconv"
+	"time"
+
+	"innet/internal/core"
+)
+
+// UDP line protocol: the firehose path for constrained emitters (motes,
+// shell scripts, netcat). A datagram carries one reading per line:
+//
+//	<sensor> <at_ms> <v1> [v2 ...]\n
+//
+// e.g. "7 120000 55.3" — sensor 7, data time 120 s, temperature 55.3.
+// Fields are ASCII separated by spaces or tabs; blank lines are ignored;
+// a line that fails to parse is dropped and counted (Stats.Malformed)
+// without affecting the rest of the datagram, exactly like a corrupted
+// radio frame. There are no acknowledgements: delivery is best-effort by
+// design, matching the paper's loss model — the HTTP endpoint is the
+// path that reports per-reading acceptance.
+
+// maxUDPPayload bounds one datagram; readings are tiny, so this fits
+// hundreds of lines.
+const maxUDPPayload = 64 * 1024
+
+// ServeUDP reads line-protocol datagrams from conn and ingests each
+// parsed reading, until conn is closed or the service closes (a watcher
+// forces the blocked read out via a read deadline, so Close really does
+// end the loop on a quiet socket). It always returns a non-nil error:
+// net.ErrClosed after the socket closed, ErrClosed after the service did.
+func (s *Service) ServeUDP(conn net.PacketConn) error {
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		select {
+		case <-s.ctx.Done():
+			_ = conn.SetReadDeadline(time.Now())
+		case <-done:
+		}
+	}()
+
+	buf := make([]byte, maxUDPPayload)
+	for {
+		n, _, err := conn.ReadFrom(buf)
+		if err != nil {
+			if s.ctx.Err() != nil {
+				return ErrClosed
+			}
+			return err
+		}
+		s.ingestLines(buf[:n])
+	}
+}
+
+// ingestLines parses one datagram's worth of line protocol.
+func (s *Service) ingestLines(payload []byte) {
+	for _, line := range bytes.Split(payload, []byte{'\n'}) {
+		line = bytes.TrimSpace(line)
+		if len(line) == 0 {
+			continue
+		}
+		r, err := parseLine(line)
+		if err != nil {
+			s.malformed.Add(1)
+			continue
+		}
+		_ = s.Ingest(r) // rejections are counted by Ingest; UDP has no reply
+	}
+}
+
+// parseLine decodes "<sensor> <at_ms> <v1> [v2 ...]".
+func parseLine(line []byte) (Reading, error) {
+	fields := bytes.Fields(line)
+	if len(fields) < 3 {
+		return Reading{}, fmt.Errorf("%w: want at least 3 fields, got %d", ErrBadReading, len(fields))
+	}
+	sensor, err := strconv.ParseUint(string(fields[0]), 10, 16)
+	if err != nil {
+		return Reading{}, fmt.Errorf("%w: sensor %q", ErrBadReading, fields[0])
+	}
+	atMS, err := strconv.ParseInt(string(fields[1]), 10, 64)
+	if err != nil {
+		return Reading{}, fmt.Errorf("%w: timestamp %q", ErrBadReading, fields[1])
+	}
+	values := make([]float64, 0, len(fields)-2)
+	for _, f := range fields[2:] {
+		v, err := strconv.ParseFloat(string(f), 64)
+		if err != nil {
+			return Reading{}, fmt.Errorf("%w: value %q", ErrBadReading, f)
+		}
+		values = append(values, v)
+	}
+	return Reading{
+		Sensor: core.NodeID(sensor),
+		At:     time.Duration(atMS) * time.Millisecond,
+		Values: values,
+	}, nil
+}

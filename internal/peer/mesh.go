@@ -16,7 +16,7 @@ import (
 type Mesh struct {
 	mu       sync.Mutex
 	cond     *sync.Cond
-	inboxes  map[core.NodeID]chan Packet
+	ports    map[core.NodeID]*port
 	adj      map[core.NodeID]map[core.NodeID]bool
 	inFlight int
 	delay    func(from, to core.NodeID) bool // true = drop (loss injection)
@@ -25,8 +25,8 @@ type Mesh struct {
 // NewMesh returns an empty fabric.
 func NewMesh() *Mesh {
 	m := &Mesh{
-		inboxes: make(map[core.NodeID]chan Packet),
-		adj:     make(map[core.NodeID]map[core.NodeID]bool),
+		ports: make(map[core.NodeID]*port),
+		adj:   make(map[core.NodeID]map[core.NodeID]bool),
 	}
 	m.cond = sync.NewCond(&m.mu)
 	return m
@@ -40,11 +40,17 @@ func (m *Mesh) SetLossFunc(drop func(from, to core.NodeID) bool) {
 	m.delay = drop
 }
 
-// port is one peer's attachment to the mesh.
+// port is one peer's attachment to the mesh. sendMu serializes senders
+// against Detach's close of the inbox: a broadcast captures target ports
+// outside the mesh lock, so without it a concurrent Detach could close
+// the channel mid-send and panic the sender.
 type port struct {
 	mesh *Mesh
 	id   core.NodeID
 	in   chan Packet
+
+	sendMu sync.Mutex
+	closed bool
 }
 
 var _ Transport = (*port)(nil)
@@ -55,29 +61,39 @@ var _ Transport = (*port)(nil)
 func (m *Mesh) Attach(id core.NodeID) (Transport, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	if _, dup := m.inboxes[id]; dup {
+	if _, dup := m.ports[id]; dup {
 		return nil, fmt.Errorf("peer: node %d already attached", id)
 	}
-	in := make(chan Packet, 4096)
-	m.inboxes[id] = in
+	t := &port{mesh: m, id: id, in: make(chan Packet, 4096)}
+	m.ports[id] = t
 	m.adj[id] = make(map[core.NodeID]bool)
-	return &port{mesh: m, id: id, in: in}, nil
+	return t, nil
 }
 
-// Detach removes a node, closing its inbox and cutting its links.
+// Detach removes a node, cutting its links and closing its inbox (which
+// ends the attached peer's Run loop). It waits for sends already in
+// progress to that inbox to finish, so it must not be called while the
+// node's own consumer is stopped AND its inbox is full — the normal
+// sequence (detach while the peer still drains, as ingest.Leave does)
+// cannot block.
 func (m *Mesh) Detach(id core.NodeID) {
 	m.mu.Lock()
-	defer m.mu.Unlock()
-	in, ok := m.inboxes[id]
+	t, ok := m.ports[id]
 	if !ok {
+		m.mu.Unlock()
 		return
 	}
-	delete(m.inboxes, id)
+	delete(m.ports, id)
 	for other := range m.adj[id] {
 		delete(m.adj[other], id)
 	}
 	delete(m.adj, id)
-	close(in)
+	m.mu.Unlock()
+
+	t.sendMu.Lock()
+	t.closed = true
+	close(t.in)
+	t.sendMu.Unlock()
 }
 
 // Connect establishes the undirected link a—b.
@@ -87,10 +103,10 @@ func (m *Mesh) Connect(a, b core.NodeID) error {
 	if a == b {
 		return errors.New("peer: self link")
 	}
-	if _, ok := m.inboxes[a]; !ok {
+	if _, ok := m.ports[a]; !ok {
 		return fmt.Errorf("peer: unknown node %d", a)
 	}
-	if _, ok := m.inboxes[b]; !ok {
+	if _, ok := m.ports[b]; !ok {
 		return fmt.Errorf("peer: unknown node %d", b)
 	}
 	m.adj[a][b] = true
@@ -121,24 +137,35 @@ func (m *Mesh) Neighbors(id core.NodeID) []core.NodeID {
 	return out
 }
 
-// Broadcast implements Transport for a port.
+// Broadcast implements Transport for a port. Each delivery holds the
+// target's sendMu so a concurrent Detach cannot close the inbox under
+// the send; a target that detached after being selected is skipped, like
+// a receiver that left radio range mid-transmission.
 func (t *port) Broadcast(ctx context.Context, p Packet) error {
 	m := t.mesh
 	m.mu.Lock()
-	targets := make([]chan Packet, 0, len(m.adj[t.id]))
+	targets := make([]*port, 0, len(m.adj[t.id]))
 	for other := range m.adj[t.id] {
 		if m.delay != nil && m.delay(t.id, other) {
 			continue
 		}
-		targets = append(targets, m.inboxes[other])
+		targets = append(targets, m.ports[other])
 	}
 	m.inFlight += len(targets)
 	m.mu.Unlock()
 
-	for _, ch := range targets {
-		select {
-		case ch <- p:
-		case <-ctx.Done():
+	for _, target := range targets {
+		target.sendMu.Lock()
+		delivered := false
+		if !target.closed {
+			select {
+			case target.in <- p:
+				delivered = true
+			case <-ctx.Done():
+			}
+		}
+		target.sendMu.Unlock()
+		if !delivered {
 			m.mu.Lock()
 			m.inFlight--
 			m.cond.Broadcast()

@@ -1,0 +1,81 @@
+package peer
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// TestDetachDuringBroadcast pins the fix for a shutdown crash: Broadcast
+// captures target inboxes outside the mesh lock, so Detach closing an
+// inbox mid-send used to panic the sender with "send on closed channel".
+// The worst case is a sender blocked on a full inbox at the moment of
+// Detach; now Detach waits for the send, which completes as soon as the
+// consumer drains one slot.
+func TestDetachDuringBroadcast(t *testing.T) {
+	mesh := NewMesh()
+	ta, err := mesh.Attach(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, err := mesh.Attach(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mesh.Connect(1, 2); err != nil {
+		t.Fatal(err)
+	}
+
+	// Fill node 2's inbox to capacity so the next send blocks.
+	ctx := context.Background()
+	pkt := Packet{From: 1, Payload: []byte("x")}
+	for i := 0; i < cap(tb.Inbox()); i++ {
+		if err := ta.Broadcast(ctx, pkt); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	sendDone := make(chan struct{})
+	go func() {
+		defer close(sendDone)
+		_ = ta.Broadcast(ctx, pkt) // blocks on the full inbox
+	}()
+	detachDone := make(chan struct{})
+	go func() {
+		defer close(detachDone)
+		time.Sleep(10 * time.Millisecond) // let the send block first
+		mesh.Detach(2)
+	}()
+
+	done := tb.(PacketDoner)
+	<-tb.Inbox() // drain one slot: the blocked send completes, then Detach closes
+	done.PacketDone()
+	for _, ch := range []chan struct{}{sendDone, detachDone} {
+		select {
+		case <-ch:
+		case <-time.After(10 * time.Second):
+			t.Fatal("send/detach did not finish")
+		}
+	}
+
+	// The inbox must drain fully and then report closed.
+	got := 0
+	for range tb.Inbox() {
+		got++
+		done.PacketDone()
+	}
+	if got != cap(tb.Inbox()) {
+		t.Fatalf("drained %d packets after detach, want %d", got, cap(tb.Inbox()))
+	}
+
+	// Broadcasts to a departed node are dropped, not delivered, and do
+	// not count as in flight (quiescence still settles).
+	if err := ta.Broadcast(ctx, pkt); err != nil {
+		t.Fatal(err)
+	}
+	wctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+	defer cancel()
+	if err := mesh.WaitQuiescent(wctx); err != nil {
+		t.Fatalf("mesh never quiescent after detach: %v", err)
+	}
+}

@@ -8,6 +8,36 @@
 // events (samples, packets, clock ticks, neighbor changes) through one
 // goroutine, so the algorithm code is shared unmodified with the
 // simulator and the test harness.
+//
+// # Lifecycle
+//
+// A peer moves through four stages; every event method is safe from any
+// goroutine once Run is started:
+//
+//	New(cfg)                        build: validate config, wrap a Detector
+//	  │
+//	  ▼
+//	go p.Run(ctx)                   run: the one goroutine that owns the
+//	  │                             detector; drains the transport inbox and
+//	  │                             the command queue
+//	  ▼
+//	Observe / ObserveBatch /        feed: each call is serialized through
+//	AdvanceTo / AddNeighbor /       the event loop and returns once the
+//	RemoveNeighbor / Estimate       detector has reacted (and any broadcast
+//	  │                             is handed to the transport)
+//	  ▼
+//	cancel ctx, or close the        close: Run returns ctx.Err() on cancel,
+//	transport (mesh Detach /        or nil when the transport closes the
+//	UDPTransport.Close)             inbox; after that the peer is inert
+//
+// There is no separate Close method: the peer owns no resources beyond
+// its goroutine, so stopping Run — by context or by closing the transport
+// it reads from — is the whole shutdown story. Callers that need to know
+// the goroutine exited wait on Run's return (see ExamplePeer).
+//
+// Peers are usually not driven by hand: internal/ingest runs a managed
+// fleet of them behind the innetd daemon's HTTP/UDP front door, and the
+// examples directory shows both styles.
 package peer
 
 import (
@@ -167,6 +197,18 @@ func (p *Peer) do(ctx context.Context, fn func(*core.Detector) *core.Outbound) e
 func (p *Peer) Observe(ctx context.Context, birth time.Duration, value ...float64) error {
 	return p.do(ctx, func(d *core.Detector) *core.Outbound {
 		_, out := d.Observe(birth, value...)
+		return out
+	})
+}
+
+// ObserveBatch feeds a burst of readings as one data-change event: the
+// clock advances to now, expired window contents leave, and all readings
+// land under a single ranking pass (core.Detector.StepObserveBatch). The
+// ingestion layer uses this so a sensor that falls behind catches up in
+// one event instead of one per queued reading.
+func (p *Peer) ObserveBatch(ctx context.Context, now time.Duration, obs []core.Observation) error {
+	return p.do(ctx, func(d *core.Detector) *core.Outbound {
+		_, out := d.StepObserveBatch(now, obs)
 		return out
 	})
 }

@@ -1,0 +1,70 @@
+#!/usr/bin/env bash
+# End-to-end smoke test for the innetd streaming ingestion daemon:
+# start it, POST a batch over HTTP, fire a burst over the UDP line
+# protocol (auto-joining a new sensor), assert the planted outlier
+# surfaces on the query endpoint, and shut down cleanly on SIGINT.
+#
+# Needs: go, curl, bash (uses /dev/udp for the firehose). CI runs this;
+# it is also runnable locally: scripts/innetd_smoke.sh
+set -euo pipefail
+
+HTTP=127.0.0.1:18080
+UDP_HOST=127.0.0.1
+UDP_PORT=19971
+BIN=$(mktemp -d)/innetd
+
+cleanup() {
+  [[ -n "${DAEMON_PID:-}" ]] && kill "$DAEMON_PID" 2>/dev/null || true
+}
+trap cleanup EXIT
+
+echo "== build"
+go build -o "$BIN" ./cmd/innetd
+
+echo "== start daemon"
+"$BIN" -http "$HTTP" -udp "$UDP_HOST:$UDP_PORT" -sensors 1-5 -ranker nn -n 1 -window 10m &
+DAEMON_PID=$!
+
+echo "== wait for health"
+for _ in $(seq 1 100); do
+  curl -fsS "http://$HTTP/healthz" >/dev/null 2>&1 && break
+  sleep 0.1
+done
+curl -fsS "http://$HTTP/healthz"; echo
+
+echo "== POST a batch over HTTP"
+curl -fsS -X POST "http://$HTTP/v1/observations" -d '{"readings":[
+  {"sensor":1,"at_ms":60000,"values":[20.1]},
+  {"sensor":2,"at_ms":60000,"values":[20.2]},
+  {"sensor":3,"at_ms":60000,"values":[20.3]},
+  {"sensor":4,"at_ms":60000,"values":[20.4]},
+  {"sensor":5,"at_ms":60000,"values":[20.5]}
+]}'; echo
+
+echo "== UDP-fire a burst (sensor 7 auto-joins with a stuck-at-rail fault)"
+for i in $(seq 0 19); do
+  echo "3 $((61000 + i)) 20.$((i % 10))" > "/dev/udp/$UDP_HOST/$UDP_PORT"
+done
+echo "7 62000 55.3" > "/dev/udp/$UDP_HOST/$UDP_PORT"
+
+echo "== poll the query endpoint for the outlier"
+FOUND=
+for _ in $(seq 1 100); do
+  EST=$(curl -fsS "http://$HTTP/v1/outliers?sensor=1")
+  if grep -q '"sensor":7' <<<"$EST" && grep -q '55.3' <<<"$EST"; then
+    FOUND=1
+    echo "$EST"
+    break
+  fi
+  sleep 0.1
+done
+[[ -n "$FOUND" ]] || { echo "outlier never surfaced: $EST" >&2; exit 1; }
+
+echo "== metrics"
+curl -fsS "http://$HTTP/metrics"
+
+echo "== clean shutdown"
+kill -INT "$DAEMON_PID"
+wait "$DAEMON_PID"
+DAEMON_PID=
+echo "innetd smoke: OK"

@@ -1,0 +1,246 @@
+// Command innet-coord is the cluster coordinator: the single front door
+// of a sharded innetd deployment. It partitions the sensor space across
+// detector shard processes (innetd instances started with -shard) via a
+// consistent rendezvous shard map, routes HTTP/UDP observation batches
+// to the shards owning each sensor — replicating boundary sensors when
+// -replicas > 1 — probes shard health, resynchronizes rejoining shards
+// (ASSIGN + window handoff), and serves the merged cluster-wide outlier
+// view. See the README's "Cluster operations" section.
+//
+// Usage:
+//
+//	innet-coord -shards addr1,addr2,... [-http addr] [-udp addr]
+//	            [-replicas n] [-query-timeout d] [-health-interval d]
+//	            [-ranker nn|knn|kthnn|db] [-k n] [-eps α] [-n outliers]
+//	            [-window d] [-v]
+//
+// Example (matching three `innetd -shard` processes):
+//
+//	innet-coord -http :8080 -shards 127.0.0.1:9101,127.0.0.1:9102,127.0.0.1:9103 \
+//	            -replicas 2 -ranker knn -k 2 -n 2 -window 10m
+//
+// The detector flags must match the shards': the coordinator uses them
+// for the estimate merge and the staleness gate.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"innet/internal/cluster"
+	"innet/internal/core"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "innet-coord:", err)
+		os.Exit(1)
+	}
+}
+
+// options is the parsed flag set, separated from flag.Parse so the
+// end-to-end test can drive the coordinator in-process.
+type options struct {
+	httpAddr       string
+	udpAddr        string
+	shards         string
+	replicas       int
+	queryTimeout   time.Duration
+	healthInterval time.Duration
+	ranker         string
+	k              int
+	eps            float64
+	n              int
+	window         time.Duration
+	verbose        bool
+}
+
+func parseFlags(args []string) (options, error) {
+	fs := flag.NewFlagSet("innet-coord", flag.ContinueOnError)
+	var o options
+	fs.StringVar(&o.httpAddr, "http", ":8080", "HTTP listen address (API + health + metrics)")
+	fs.StringVar(&o.udpAddr, "udp", "", "UDP line-protocol listen address (empty disables)")
+	fs.StringVar(&o.shards, "shards", "", "comma-separated shard control addresses (required)")
+	fs.IntVar(&o.replicas, "replicas", 1, "shards each sensor's readings are replicated to (boundary-sensor replication)")
+	fs.DurationVar(&o.queryTimeout, "query-timeout", 2*time.Second, "estimate fan-out deadline")
+	fs.DurationVar(&o.healthInterval, "health-interval", 500*time.Millisecond, "shard health probe period")
+	fs.StringVar(&o.ranker, "ranker", "knn", "ranking function: nn, knn, kthnn or db (must match the shards)")
+	fs.IntVar(&o.k, "k", 2, "neighbor count for knn/kthnn")
+	fs.Float64Var(&o.eps, "eps", 2, "neighborhood radius α for the db ranker")
+	fs.IntVar(&o.n, "n", 2, "number of outliers to detect")
+	fs.DurationVar(&o.window, "window", 10*time.Minute, "time-based sliding window (must match the shards)")
+	fs.BoolVar(&o.verbose, "v", false, "log requests and fleet events")
+	if err := fs.Parse(args); err != nil {
+		return o, err
+	}
+	return o, nil
+}
+
+// buildRanker maps the -ranker/-k/-eps flags to a core.Ranker, exactly
+// as innetd does, so a coordinator and its shards agree by construction
+// when started from the same flag set.
+func buildRanker(o options) (core.Ranker, error) {
+	switch strings.ToLower(o.ranker) {
+	case "nn":
+		return core.NN(), nil
+	case "knn":
+		return core.KNN{K: o.k}, nil
+	case "kthnn":
+		return core.KthNN{K: o.k}, nil
+	case "db":
+		return core.CountWithin{Alpha: o.eps}, nil
+	default:
+		return nil, fmt.Errorf("unknown ranker %q (want nn, knn, kthnn or db)", o.ranker)
+	}
+}
+
+func parseShardList(spec string) ([]string, error) {
+	var out []string
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		if _, err := net.ResolveUDPAddr("udp", part); err != nil {
+			return nil, fmt.Errorf("bad shard address %q: %w", part, err)
+		}
+		out = append(out, part)
+	}
+	if len(out) == 0 {
+		return nil, errors.New("-shards requires at least one address")
+	}
+	return out, nil
+}
+
+// daemon bundles the coordinator and its listeners so tests can reach
+// the bound addresses.
+type daemon struct {
+	coord   *cluster.Coordinator
+	httpLn  net.Listener
+	udpConn net.PacketConn
+	logf    func(format string, args ...any)
+}
+
+// newDaemon builds the coordinator and binds the listeners (but serves
+// nothing yet; call serve).
+func newDaemon(o options, logf func(string, ...any)) (*daemon, error) {
+	ranker, err := buildRanker(o)
+	if err != nil {
+		return nil, err
+	}
+	shards, err := parseShardList(o.shards)
+	if err != nil {
+		return nil, err
+	}
+	cfg := cluster.Config{
+		Detector: core.Config{
+			Ranker: ranker,
+			N:      o.n,
+			Window: o.window,
+		},
+		Shards:         shards,
+		Replicas:       o.replicas,
+		QueryTimeout:   o.queryTimeout,
+		HealthInterval: o.healthInterval,
+	}
+	if o.verbose {
+		cfg.Logf = logf
+	}
+	coord, err := cluster.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	d := &daemon{coord: coord, logf: logf}
+	if d.httpLn, err = net.Listen("tcp", o.httpAddr); err != nil {
+		coord.Close()
+		return nil, err
+	}
+	if o.udpAddr != "" {
+		if d.udpConn, err = net.ListenPacket("udp", o.udpAddr); err != nil {
+			d.httpLn.Close()
+			coord.Close()
+			return nil, err
+		}
+	}
+	return d, nil
+}
+
+// logRequests is the -v middleware: one line per API call.
+func logRequests(logf func(string, ...any), next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		next.ServeHTTP(w, r)
+		logf("innet-coord: %s %s (%s)", r.Method, r.URL.Path, time.Since(start).Round(time.Microsecond))
+	})
+}
+
+// serve runs the listeners until ctx is canceled, then shuts down in
+// order: stop accepting HTTP, close the UDP socket, close the
+// coordinator (health loop and control socket).
+func (d *daemon) serve(ctx context.Context, verbose bool) error {
+	handler := d.coord.Handler()
+	if verbose {
+		handler = logRequests(d.logf, handler)
+	}
+	httpSrv := &http.Server{Handler: handler}
+	httpDone := make(chan error, 1)
+	go func() { httpDone <- httpSrv.Serve(d.httpLn) }()
+
+	udpDone := make(chan error, 1)
+	if d.udpConn != nil {
+		go func() { udpDone <- d.coord.ServeUDP(d.udpConn) }()
+	} else {
+		udpDone <- nil
+	}
+
+	d.logf("innet-coord: http on %s", d.httpLn.Addr())
+	if d.udpConn != nil {
+		d.logf("innet-coord: udp firehose on %s", d.udpConn.LocalAddr())
+	}
+	d.logf("innet-coord: coordinating %d shards", d.coord.ShardMapSnapshot().Len())
+
+	<-ctx.Done()
+	d.logf("innet-coord: shutting down")
+
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	errShutdown := httpSrv.Shutdown(shutdownCtx)
+	if err := <-httpDone; err != nil && !errors.Is(err, http.ErrServerClosed) && errShutdown == nil {
+		errShutdown = err
+	}
+	if d.udpConn != nil {
+		d.udpConn.Close()
+	}
+	if err := <-udpDone; err != nil && !errors.Is(err, net.ErrClosed) && !errors.Is(err, cluster.ErrClosed) && errShutdown == nil {
+		errShutdown = err
+	}
+	if err := d.coord.Close(); err != nil && errShutdown == nil {
+		errShutdown = err
+	}
+	d.logf("innet-coord: bye")
+	return errShutdown
+}
+
+func run(args []string) error {
+	o, err := parseFlags(args)
+	if err != nil {
+		return err
+	}
+	d, err := newDaemon(o, log.New(os.Stderr, "", log.LstdFlags).Printf)
+	if err != nil {
+		return err
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	return d.serve(ctx, o.verbose)
+}

@@ -7,13 +7,21 @@
 //
 // Usage:
 //
-//	innetd [-http addr] [-udp addr] [-sensors list] [-autojoin]
-//	       [-ranker nn|knn|kthnn|db] [-k n] [-eps α] [-n outliers]
-//	       [-window d] [-hop d] [-queue depth] [-batch max] [-v]
+//	innetd [-http addr] [-udp addr] [-shard addr] [-sensors list]
+//	       [-autojoin] [-ranker nn|knn|kthnn|db] [-k n] [-eps α]
+//	       [-n outliers] [-window d] [-hop d] [-queue depth]
+//	       [-batch max] [-v]
 //
 // Example:
 //
 //	innetd -http :8080 -udp :9971 -sensors 1-9 -ranker knn -k 2 -n 2 -window 10m
+//
+// With -shard the daemon additionally serves the cluster control plane
+// on the given UDP address, so an innet-coord coordinator can route
+// readings to it, hand windows off, and fold its estimate into the
+// cluster-wide merge (see the README's cluster operations guide):
+//
+//	innetd -http :8081 -shard 127.0.0.1:9101 -ranker knn -k 2 -n 2 -window 10m
 package main
 
 import (
@@ -31,6 +39,7 @@ import (
 	"syscall"
 	"time"
 
+	"innet/internal/cluster"
 	"innet/internal/core"
 	"innet/internal/ingest"
 )
@@ -47,6 +56,7 @@ func main() {
 type options struct {
 	httpAddr   string
 	udpAddr    string
+	shardAddr  string
 	sensors    string
 	autojoin   bool
 	ranker     string
@@ -66,6 +76,7 @@ func parseFlags(args []string) (options, error) {
 	var o options
 	fs.StringVar(&o.httpAddr, "http", ":8080", "HTTP listen address (API + health + metrics)")
 	fs.StringVar(&o.udpAddr, "udp", "", "UDP line-protocol listen address (empty disables)")
+	fs.StringVar(&o.shardAddr, "shard", "", "UDP shard-control listen address for cluster mode (empty disables)")
 	fs.StringVar(&o.sensors, "sensors", "", "sensors to attach at startup, e.g. \"1-9\" or \"1,2,5\"")
 	fs.BoolVar(&o.autojoin, "autojoin", true, "attach unknown sensors on first contact")
 	fs.StringVar(&o.ranker, "ranker", "knn", "ranking function: nn, knn, kthnn or db")
@@ -129,10 +140,11 @@ func parseSensorList(spec string) ([]core.NodeID, error) {
 // daemon bundles the service and its listeners so tests can reach the
 // bound addresses.
 type daemon struct {
-	svc     *ingest.Service
-	httpLn  net.Listener
-	udpConn net.PacketConn
-	logf    func(format string, args ...any)
+	svc      *ingest.Service
+	httpLn   net.Listener
+	udpConn  net.PacketConn
+	shardSrv *cluster.ShardServer
+	logf     func(format string, args ...any)
 }
 
 // newDaemon builds the service, attaches the initial sensors, and binds
@@ -181,6 +193,21 @@ func newDaemon(o options, logf func(string, ...any)) (*daemon, error) {
 			return nil, err
 		}
 	}
+	if o.shardAddr != "" {
+		d.shardSrv, err = cluster.NewShardServer(cluster.ShardServerConfig{
+			Service: svc,
+			Addr:    o.shardAddr,
+			Logf:    logf,
+		})
+		if err != nil {
+			if d.udpConn != nil {
+				d.udpConn.Close()
+			}
+			d.httpLn.Close()
+			svc.Close()
+			return nil, err
+		}
+	}
 	return d, nil
 }
 
@@ -211,9 +238,19 @@ func (d *daemon) serve(ctx context.Context, verbose bool) error {
 		udpDone <- nil
 	}
 
+	shardDone := make(chan error, 1)
+	if d.shardSrv != nil {
+		go func() { shardDone <- d.shardSrv.Serve() }()
+	} else {
+		shardDone <- nil
+	}
+
 	d.logf("innetd: http on %s", d.httpLn.Addr())
 	if d.udpConn != nil {
 		d.logf("innetd: udp firehose on %s", d.udpConn.LocalAddr())
+	}
+	if d.shardSrv != nil {
+		d.logf("innetd: shard control on %s", d.shardSrv.Addr())
 	}
 
 	<-ctx.Done()
@@ -229,6 +266,12 @@ func (d *daemon) serve(ctx context.Context, verbose bool) error {
 		d.udpConn.Close()
 	}
 	if err := <-udpDone; err != nil && !errors.Is(err, net.ErrClosed) && !errors.Is(err, ingest.ErrClosed) && errShutdown == nil {
+		errShutdown = err
+	}
+	if d.shardSrv != nil {
+		d.shardSrv.Close()
+	}
+	if err := <-shardDone; err != nil && !errors.Is(err, net.ErrClosed) && errShutdown == nil {
 		errShutdown = err
 	}
 	if err := d.svc.Close(); err != nil && errShutdown == nil {

@@ -140,6 +140,19 @@ func run() error {
 		return err
 	}
 
+	// Surface the ingest accounting the daemon exports on /metrics —
+	// above all the queue-drop counters, which say whether the
+	// latest-wins policy ever had to shed (it should not have, at this
+	// leisurely rate).
+	stats := svc.Stats()
+	fmt.Printf("\ningest: %d accepted, %d observed in %d batches, %d dropped, %d stale\n",
+		stats.Accepted, stats.Observed, stats.Batches, stats.Dropped, stats.Stale)
+	for _, sn := range svc.SensorStats() {
+		if sn.Drops > 0 {
+			fmt.Printf("  sensor %2d shed %d readings\n", sn.ID, sn.Drops)
+		}
+	}
+
 	if err := svc.Close(); err != nil {
 		return err
 	}

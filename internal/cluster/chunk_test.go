@@ -1,0 +1,55 @@
+package cluster
+
+import (
+	"testing"
+
+	"innet/internal/core"
+)
+
+// TestChunkByBytes pins the fragmentation contract: chunks respect the
+// byte budget (counting encoded point size, which grows with feature
+// dimension), no point is lost or reordered, and the empty list still
+// yields one sendable chunk.
+func TestChunkByBytes(t *testing.T) {
+	if got := chunkByBytes(nil, 100); len(got) != 1 || len(got[0]) != 0 {
+		t.Fatalf("empty input: got %v, want one empty chunk", got)
+	}
+
+	mk := func(n, dim int) []core.Point {
+		pts := make([]core.Point, n)
+		vals := make([]float64, dim)
+		for i := range pts {
+			pts[i] = core.NewPoint(1, uint32(i), 0, vals...)
+		}
+		return pts
+	}
+	for _, tc := range []struct {
+		n, dim, budget int
+	}{
+		{n: 100, dim: 1, budget: 100},
+		{n: 100, dim: 5, budget: 100},
+		{n: 37, dim: 3, budget: 1000},
+		{n: 3, dim: 255, budget: 50}, // one max-dim point exceeds any sane budget: 1 per chunk
+	} {
+		pts := mk(tc.n, tc.dim)
+		chunks := chunkByBytes(pts, tc.budget)
+		size := core.EncodedPointSize(tc.dim)
+		seq := uint32(0)
+		for _, chunk := range chunks {
+			if len(chunk) > 1 && len(chunk)*size > tc.budget {
+				t.Fatalf("n=%d dim=%d: chunk of %d points (%d B) over budget %d",
+					tc.n, tc.dim, len(chunk), len(chunk)*size, tc.budget)
+			}
+			for _, p := range chunk {
+				if p.ID.Seq != seq {
+					t.Fatalf("n=%d dim=%d: point %d out of order (want seq %d)",
+						tc.n, tc.dim, p.ID.Seq, seq)
+				}
+				seq++
+			}
+		}
+		if int(seq) != tc.n {
+			t.Fatalf("n=%d dim=%d: %d points after chunking, want %d", tc.n, tc.dim, seq, tc.n)
+		}
+	}
+}

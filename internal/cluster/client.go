@@ -1,0 +1,279 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"innet/internal/core"
+	"innet/internal/protocol"
+)
+
+// ctlClient is the coordinator's side of the shard-control wire: one UDP
+// socket multiplexing request/response exchanges with every shard,
+// correlated by the frames' reqID. UDP loses datagrams by design, so
+// every exchange is wrapped in bounded retries by the callers; all
+// requests are idempotent (ASSIGN and HANDOFF transfers re-apply
+// cleanly, READINGS carry preassigned identities, queries are pure).
+type ctlClient struct {
+	conn *net.UDPConn
+
+	nextReq atomic.Uint32
+
+	mu      sync.Mutex
+	pending map[uint32]chan protocol.Frame
+	closed  bool
+
+	readerDone chan struct{}
+}
+
+// errClientClosed reports an exchange attempted after Close.
+var errClientClosed = errors.New("cluster: control client closed")
+
+func newCtlClient() (*ctlClient, error) {
+	conn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4zero, Port: 0})
+	if err != nil {
+		return nil, fmt.Errorf("cluster: bind control socket: %w", err)
+	}
+	c := &ctlClient{
+		conn:       conn,
+		pending:    make(map[uint32]chan protocol.Frame),
+		readerDone: make(chan struct{}),
+	}
+	go c.readLoop()
+	return c, nil
+}
+
+func (c *ctlClient) readLoop() {
+	defer close(c.readerDone)
+	buf := make([]byte, 64*1024)
+	for {
+		n, _, err := c.conn.ReadFromUDP(buf)
+		if err != nil {
+			return // socket closed
+		}
+		f, err := protocol.DecodeFrame(buf[:n])
+		if err != nil || !f.Response() {
+			continue // stray datagram; drop like a corrupt radio frame
+		}
+		body := make([]byte, len(f.Body))
+		copy(body, f.Body)
+		f.Body = body
+		c.mu.Lock()
+		ch := c.pending[f.ReqID]
+		c.mu.Unlock()
+		if ch != nil {
+			select {
+			case ch <- f:
+			default: // slow collector: shed, the retry path covers it
+			}
+		}
+	}
+}
+
+func (c *ctlClient) close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+	err := c.conn.Close()
+	<-c.readerDone
+	return err
+}
+
+// exchange sends one request frame to addr and feeds response frames
+// echoing its reqID to collect until collect reports done or ctx expires.
+func (c *ctlClient) exchange(ctx context.Context, addr *net.UDPAddr, kind protocol.FrameKind,
+	flags uint8, body []byte, collect func(protocol.Frame) (done bool, err error)) error {
+	reqID := c.nextReq.Add(1)
+	ch := make(chan protocol.Frame, 64)
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return errClientClosed
+	}
+	c.pending[reqID] = ch
+	c.mu.Unlock()
+	defer func() {
+		c.mu.Lock()
+		delete(c.pending, reqID)
+		c.mu.Unlock()
+	}()
+
+	frame := protocol.EncodeFrame(protocol.Frame{Kind: kind, Flags: flags, ReqID: reqID, Body: body})
+	if _, err := c.conn.WriteToUDP(frame, addr); err != nil {
+		return fmt.Errorf("cluster: send %v to %s: %w", kind, addr, err)
+	}
+	for {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case f := <-ch:
+			done, err := collect(f)
+			if err != nil {
+				return err
+			}
+			if done {
+				return nil
+			}
+		}
+	}
+}
+
+// one is a collect helper for single-frame responses of the given kind.
+func one(kind protocol.FrameKind, into *protocol.Frame) func(protocol.Frame) (bool, error) {
+	return func(f protocol.Frame) (bool, error) {
+		if f.Kind != kind {
+			return false, nil // mismatched stray; keep waiting
+		}
+		*into = f
+		return true, nil
+	}
+}
+
+// assign pushes one shard-map epoch and returns the version the shard
+// acknowledged.
+func (c *ctlClient) assign(ctx context.Context, addr *net.UDPAddr, body protocol.AssignBody) (uint64, error) {
+	buf, err := body.Encode()
+	if err != nil {
+		return 0, err
+	}
+	var resp protocol.Frame
+	if err := c.exchange(ctx, addr, protocol.FrameAssign, 0, buf, one(protocol.FrameAssign, &resp)); err != nil {
+		return 0, err
+	}
+	ack, err := protocol.DecodeAck(resp.Body)
+	if err != nil {
+		return 0, err
+	}
+	return ack.Count, nil
+}
+
+// health probes one shard.
+func (c *ctlClient) health(ctx context.Context, addr *net.UDPAddr) (protocol.HealthBody, error) {
+	var resp protocol.Frame
+	if err := c.exchange(ctx, addr, protocol.FrameHealth, 0, nil, one(protocol.FrameHealth, &resp)); err != nil {
+		return protocol.HealthBody{}, err
+	}
+	return protocol.DecodeHealth(resp.Body)
+}
+
+// readings routes one batch of identity-stamped points and returns the
+// count the shard accepted.
+func (c *ctlClient) readings(ctx context.Context, addr *net.UDPAddr, pts []core.Point) (uint64, error) {
+	buf, err := protocol.ReadingsBody{Points: pts}.Encode()
+	if err != nil {
+		return 0, err
+	}
+	var resp protocol.Frame
+	if err := c.exchange(ctx, addr, protocol.FrameReadings, 0, buf, one(protocol.FrameAck, &resp)); err != nil {
+		return 0, err
+	}
+	ack, err := protocol.DecodeAck(resp.Body)
+	if err != nil {
+		return 0, err
+	}
+	return ack.Count, nil
+}
+
+// estimate queries one shard's window snapshot, reassembling however many
+// fragments the shard split it into.
+func (c *ctlClient) estimate(ctx context.Context, addr *net.UDPAddr) ([]core.Point, error) {
+	frags := make(map[uint16][]core.Point)
+	fragCount := -1
+	collect := func(f protocol.Frame) (bool, error) {
+		if f.Kind != protocol.FrameEstimate {
+			return false, nil
+		}
+		body, err := protocol.DecodeEstimate(f.Body)
+		if err != nil {
+			return false, err
+		}
+		frags[body.Frag] = body.Points
+		fragCount = int(body.FragCount)
+		return len(frags) == fragCount, nil
+	}
+	if err := c.exchange(ctx, addr, protocol.FrameEstimate, 0, nil, collect); err != nil {
+		return nil, err
+	}
+	var pts []core.Point
+	for i := 0; i < fragCount; i++ {
+		pts = append(pts, frags[uint16(i)]...)
+	}
+	return pts, nil
+}
+
+// handoffFetch asks a shard for one sensor's current window points,
+// reassembling the fragmented response.
+func (c *ctlClient) handoffFetch(ctx context.Context, addr *net.UDPAddr, sensor core.NodeID) ([]core.Point, error) {
+	buf, err := protocol.HandoffBody{Sensor: sensor, FragCount: 1}.Encode()
+	if err != nil {
+		return nil, err
+	}
+	frags := make(map[uint16][]core.Point)
+	fragCount := -1
+	collect := func(f protocol.Frame) (bool, error) {
+		if f.Kind != protocol.FrameHandoff {
+			return false, nil
+		}
+		body, err := protocol.DecodeHandoff(f.Body)
+		if err != nil || body.Sensor != sensor {
+			return false, err
+		}
+		frags[body.Frag] = body.Points
+		fragCount = int(body.FragCount)
+		return len(frags) == fragCount, nil
+	}
+	if err := c.exchange(ctx, addr, protocol.FrameHandoff, 0, buf, collect); err != nil {
+		return nil, err
+	}
+	var pts []core.Point
+	for i := 0; i < fragCount; i++ {
+		pts = append(pts, frags[uint16(i)]...)
+	}
+	return pts, nil
+}
+
+// handoffTransfer delivers one chunk of a sensor's window points to its
+// (new) owner; callers split oversized windows with chunkByBytes.
+func (c *ctlClient) handoffTransfer(ctx context.Context, addr *net.UDPAddr, sensor core.NodeID, pts []core.Point) (uint64, error) {
+	buf, err := protocol.HandoffBody{Sensor: sensor, FragCount: 1, Points: pts}.Encode()
+	if err != nil {
+		return 0, err
+	}
+	var resp protocol.Frame
+	if err := c.exchange(ctx, addr, protocol.FrameHandoff, protocol.FlagTransfer, buf,
+		one(protocol.FrameAck, &resp)); err != nil {
+		return 0, err
+	}
+	ack, err := protocol.DecodeAck(resp.Body)
+	if err != nil {
+		return 0, err
+	}
+	return ack.Count, nil
+}
+
+// retry runs fn with a fresh per-attempt timeout until it succeeds, the
+// attempts are spent, or the parent context dies.
+func retry(ctx context.Context, attempts int, timeout time.Duration, fn func(context.Context) error) error {
+	if attempts < 1 {
+		attempts = 1
+	}
+	var err error
+	for i := 0; i < attempts; i++ {
+		attemptCtx, cancel := context.WithTimeout(ctx, timeout)
+		err = fn(attemptCtx)
+		cancel()
+		if err == nil || ctx.Err() != nil {
+			return err
+		}
+	}
+	return err
+}

@@ -1,0 +1,915 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"slices"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"innet/internal/core"
+	"innet/internal/ingest"
+	"innet/internal/protocol"
+)
+
+// Coordinator errors.
+var (
+	ErrNoHealthyShard = errors.New("cluster: no healthy shard owns the sensor")
+	ErrRouteFailed    = errors.New("cluster: no owning shard accepted the reading")
+	ErrUnknownShard   = errors.New("cluster: unknown shard")
+	ErrClosed         = errors.New("cluster: coordinator closed")
+)
+
+// Config parameterizes a Coordinator.
+type Config struct {
+	// Detector mirrors the shards' detector configuration; Ranker and N
+	// drive the estimate merge, Window drives the coordinator-side
+	// staleness gate. Required (Node is ignored).
+	Detector core.Config
+
+	// Shards lists the initial shard control addresses. At least one is
+	// required.
+	Shards []string
+
+	// Replicas is how many shards each sensor's readings are routed to
+	// (the boundary-sensor replication factor). With Replicas ≥ 2 the
+	// merged answer stays exact through any single shard failure,
+	// because every point survives on another shard. Default 1.
+	Replicas int
+
+	// QueryTimeout bounds the whole estimate fan-out. Default 2s.
+	QueryTimeout time.Duration
+
+	// HealthInterval is the probe period. Default 500ms.
+	HealthInterval time.Duration
+
+	// ProbeTimeout bounds one health probe, independently of the probe
+	// period: a short period keeps down-detection snappy without a
+	// scheduling hiccup on a loaded host counting as a miss. Default 1s.
+	ProbeTimeout time.Duration
+
+	// HealthMisses is how many consecutive probe failures mark a shard
+	// down. Default 3.
+	HealthMisses int
+
+	// RetryAttempts bounds per-RPC retries on the lossy control wire.
+	// Default 3.
+	RetryAttempts int
+
+	// MaxFrameBytes is the byte budget for one READINGS/HANDOFF frame's
+	// point payload; batches are fragmented to stay under it. Default
+	// 60000, under the UDP payload ceiling at any feature dimension.
+	MaxFrameBytes int
+
+	// Logf, when set, receives one line per fleet event.
+	Logf func(string, ...any)
+}
+
+func (c *Config) applyDefaults() {
+	if c.Replicas < 1 {
+		c.Replicas = 1
+	}
+	if c.QueryTimeout <= 0 {
+		c.QueryTimeout = 2 * time.Second
+	}
+	if c.HealthInterval <= 0 {
+		c.HealthInterval = 500 * time.Millisecond
+	}
+	if c.ProbeTimeout <= 0 {
+		c.ProbeTimeout = time.Second
+	}
+	if c.HealthMisses < 1 {
+		c.HealthMisses = 3
+	}
+	if c.RetryAttempts < 1 {
+		c.RetryAttempts = 3
+	}
+	if c.MaxFrameBytes <= 0 {
+		c.MaxFrameBytes = defaultFrameBytes
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+}
+
+// shardState is the coordinator's view of one shard process.
+type shardState struct {
+	addr    string
+	udp     *net.UDPAddr
+	up      bool // last probe round reached it (optimistic at birth)
+	synced  bool // acknowledged the current map version
+	syncing bool // a resync goroutine is in flight
+	probing bool // a health probe is in flight
+	misses  int
+	last    protocol.HealthBody
+	lastAt  time.Time
+}
+
+// sensorRoute is the coordinator-side per-sensor ingest state: the next
+// sequence number to stamp and the newest timestamp seen (for the same
+// staleness gate the shards apply, so identity assignment is
+// deterministic no matter which replicas are reachable).
+type sensorRoute struct {
+	nextSeq uint32
+	latest  time.Duration
+}
+
+// Stats snapshots the coordinator counters for /metrics.
+type Stats struct {
+	Routed         uint64 // readings accepted by ≥1 owning shard
+	Rejected       uint64 // readings failing validation
+	Stale          uint64 // readings older than the window
+	Failed         uint64 // readings no owning shard accepted
+	Reroutes       uint64 // readings routed past a down owner
+	Frames         uint64 // READINGS frames sent
+	Merges         uint64 // estimate merges served
+	MergesDegraded uint64 // merges with ≥1 shard missing
+	Assigns        uint64 // ASSIGN epochs acknowledged
+	HandoffSensors uint64 // sensors restored via handoff
+	HandoffPoints  uint64 // points moved via handoff
+	Flaps          uint64 // up→down transitions observed
+	ShardsUp       int
+	ShardsTotal    int
+	Sensors        int // distinct sensors routed so far
+}
+
+// Coordinator is the cluster front door: it owns the shard map, routes
+// identity-stamped readings to owning shards, probes shard health,
+// resynchronizes rejoining shards (ASSIGN + window handoff), and serves
+// the merged outlier view. All methods are safe for concurrent use.
+type Coordinator struct {
+	cfg    Config
+	client *ctlClient
+
+	mu      sync.Mutex
+	smap    *ShardMap
+	shards  map[string]*shardState
+	sensors map[core.NodeID]*sensorRoute
+	closed  bool
+
+	routed, rejected, stale, failed atomic.Uint64
+	reroutes, frames                atomic.Uint64
+	merges, mergesDegraded          atomic.Uint64
+	assigns, handoffSen, handoffPts atomic.Uint64
+	flaps                           atomic.Uint64
+
+	ctx        context.Context
+	cancel     context.CancelFunc
+	healthDone chan struct{}
+}
+
+// New validates cfg, binds the control socket, pushes the initial shard
+// map, and starts the health loop.
+func New(cfg Config) (*Coordinator, error) {
+	cfg.applyDefaults()
+	probe := cfg.Detector
+	probe.Node = 1
+	if _, err := core.NewDetector(probe); err != nil {
+		return nil, err
+	}
+	if len(cfg.Shards) == 0 {
+		return nil, errors.New("cluster: at least one shard is required")
+	}
+	client, err := newCtlClient()
+	if err != nil {
+		return nil, err
+	}
+	smap := NewShardMap(cfg.Shards)
+	shards := make(map[string]*shardState, smap.Len())
+	for _, addr := range smap.Shards() {
+		udp, err := net.ResolveUDPAddr("udp", addr)
+		if err != nil {
+			client.close()
+			return nil, fmt.Errorf("cluster: resolve shard %q: %w", addr, err)
+		}
+		// Optimistic birth: route immediately; the health loop demotes
+		// unreachable shards within HealthMisses probes.
+		shards[addr] = &shardState{addr: addr, udp: udp, up: true}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	c := &Coordinator{
+		cfg:        cfg,
+		client:     client,
+		smap:       smap,
+		shards:     shards,
+		sensors:    make(map[core.NodeID]*sensorRoute),
+		ctx:        ctx,
+		cancel:     cancel,
+		healthDone: make(chan struct{}),
+	}
+	go c.healthLoop()
+	return c, nil
+}
+
+// Close stops the health loop and releases the control socket.
+func (c *Coordinator) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+	c.cancel()
+	<-c.healthDone
+	return c.client.close()
+}
+
+// ShardMapSnapshot returns the current map (immutable).
+func (c *Coordinator) ShardMapSnapshot() *ShardMap {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.smap
+}
+
+// ShardInfo is one shard's externally visible state.
+type ShardInfo struct {
+	Addr       string    `json:"addr"`
+	Up         bool      `json:"up"`
+	Synced     bool      `json:"synced"`
+	Misses     int       `json:"misses"`
+	Sensors    int       `json:"sensors"`     // fleet size the shard last reported
+	MapVersion uint64    `json:"map_version"` // epoch the shard last reported
+	LastSeen   time.Time `json:"last_seen,omitzero"`
+}
+
+// ShardInfos returns every shard's state, sorted by address.
+func (c *Coordinator) ShardInfos() []ShardInfo {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]ShardInfo, 0, len(c.shards))
+	for _, st := range c.shards {
+		out = append(out, ShardInfo{
+			Addr:       st.addr,
+			Up:         st.up,
+			Synced:     st.synced,
+			Misses:     st.misses,
+			Sensors:    int(st.last.Sensors),
+			MapVersion: st.last.MapVersion,
+			LastSeen:   st.lastAt,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Addr < out[j].Addr })
+	return out
+}
+
+// Stats snapshots the coordinator counters.
+func (c *Coordinator) Stats() Stats {
+	c.mu.Lock()
+	up, total, sensors := 0, len(c.shards), len(c.sensors)
+	for _, st := range c.shards {
+		if st.up {
+			up++
+		}
+	}
+	c.mu.Unlock()
+	return Stats{
+		Routed:         c.routed.Load(),
+		Rejected:       c.rejected.Load(),
+		Stale:          c.stale.Load(),
+		Failed:         c.failed.Load(),
+		Reroutes:       c.reroutes.Load(),
+		Frames:         c.frames.Load(),
+		Merges:         c.merges.Load(),
+		MergesDegraded: c.mergesDegraded.Load(),
+		Assigns:        c.assigns.Load(),
+		HandoffSensors: c.handoffSen.Load(),
+		HandoffPoints:  c.handoffPts.Load(),
+		Flaps:          c.flaps.Load(),
+		ShardsUp:       up,
+		ShardsTotal:    total,
+		Sensors:        sensors,
+	}
+}
+
+// Ingest validates, stamps and routes one reading; see IngestBatch.
+func (c *Coordinator) Ingest(r ingest.Reading) error {
+	return c.IngestBatch([]ingest.Reading{r})[0]
+}
+
+// IngestBatch validates, identity-stamps and routes a batch of readings
+// to the healthy shards owning each sensor, one READINGS frame per shard
+// chunk. The returned slice has one entry per input reading: nil when at
+// least one owning shard accepted it.
+func (c *Coordinator) IngestBatch(rs []ingest.Reading) []error {
+	errs := make([]error, len(rs))
+
+	// Phase 1 (under the lock): gate, stamp, group by shard. Identity
+	// assignment must be serialized so replicas agree on sequence
+	// numbers; the network sends happen outside the lock.
+	type routed struct {
+		reading int // index into rs/errs
+	}
+	perShard := make(map[string][]core.Point)
+	perShardIdx := make(map[string][]routed)
+	accepted := make([]int, len(rs)) // owning shards that took reading i
+
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		for i := range errs {
+			errs[i] = ErrClosed
+		}
+		return errs
+	}
+	window := c.cfg.Detector.Window
+	for i, r := range rs {
+		if err := r.Validate(); err != nil {
+			errs[i] = err
+			c.rejected.Add(1)
+			continue
+		}
+		sr := c.sensors[r.Sensor]
+		if sr == nil {
+			sr = &sensorRoute{}
+			c.sensors[r.Sensor] = sr
+		}
+		if window > 0 && r.At < sr.latest-window {
+			errs[i] = fmt.Errorf("%w: %v is older than %v − %v", ingest.ErrStale, r.At, sr.latest, window)
+			c.stale.Add(1)
+			continue
+		}
+		owners, rerouted := c.healthyOwnersLocked(r.Sensor)
+		if len(owners) == 0 {
+			// Bail before touching the sensor's gate or counter: a
+			// reading that goes nowhere must not make the coordinator
+			// stricter than the shards (a later reading the shards
+			// would accept would be rejected as stale here).
+			errs[i] = fmt.Errorf("%w: sensor %d", ErrNoHealthyShard, r.Sensor)
+			c.failed.Add(1)
+			continue
+		}
+		if rerouted {
+			c.reroutes.Add(1)
+		}
+		if r.At > sr.latest {
+			sr.latest = r.At
+		}
+		seq := sr.nextSeq
+		if r.HasSeq {
+			seq = r.Seq
+		}
+		if seq >= sr.nextSeq {
+			sr.nextSeq = seq + 1
+		}
+		p := core.NewPoint(r.Sensor, seq, r.At, r.Values...)
+		for _, addr := range owners {
+			perShard[addr] = append(perShard[addr], p)
+			perShardIdx[addr] = append(perShardIdx[addr], routed{reading: i})
+		}
+	}
+	c.mu.Unlock()
+
+	// Phase 2: fan the per-shard batches out concurrently. A failed
+	// send only misses its ack — the health probes own the up/down
+	// verdict.
+	var (
+		wg    sync.WaitGroup
+		ackMu sync.Mutex
+	)
+	for addr, pts := range perShard {
+		wg.Add(1)
+		go func(addr string, pts []core.Point, idx []routed) {
+			defer wg.Done()
+			if !c.sendReadings(addr, pts) {
+				return
+			}
+			ackMu.Lock()
+			defer ackMu.Unlock()
+			for _, rt := range idx {
+				accepted[rt.reading]++
+			}
+		}(addr, pts, perShardIdx[addr])
+	}
+	wg.Wait()
+
+	for i := range rs {
+		if errs[i] != nil {
+			continue
+		}
+		if accepted[i] == 0 {
+			errs[i] = ErrRouteFailed
+			c.failed.Add(1)
+			continue
+		}
+		c.routed.Add(1)
+	}
+	return errs
+}
+
+// healthyOwnersLocked returns the first Replicas up shards in the
+// sensor's rendezvous order, and whether any down owner was skipped.
+// Callers hold c.mu.
+func (c *Coordinator) healthyOwnersLocked(sensor core.NodeID) (owners []string, rerouted bool) {
+	for _, addr := range c.smap.RendezvousOrder(sensor) {
+		if st := c.shards[addr]; st != nil && st.up {
+			owners = append(owners, addr)
+			if len(owners) == c.cfg.Replicas {
+				break
+			}
+		} else {
+			rerouted = true
+		}
+	}
+	return owners, rerouted
+}
+
+// sendReadings ships one shard's batch as chunked READINGS frames with
+// retries, reporting whether every chunk was acknowledged.
+func (c *Coordinator) sendReadings(addr string, pts []core.Point) bool {
+	st := c.shardState(addr)
+	if st == nil {
+		return false
+	}
+	perAttempt := c.cfg.QueryTimeout / time.Duration(c.cfg.RetryAttempts)
+	for _, chunk := range chunkByBytes(pts, c.cfg.MaxFrameBytes) {
+		if len(chunk) == 0 {
+			continue
+		}
+		err := retry(c.ctx, c.cfg.RetryAttempts, perAttempt, func(ctx context.Context) error {
+			_, err := c.client.readings(ctx, st.udp, chunk)
+			return err
+		})
+		if err != nil {
+			return false
+		}
+		c.frames.Add(1)
+	}
+	return true
+}
+
+func (c *Coordinator) shardState(addr string) *shardState {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.shards[addr]
+}
+
+// MergeResult is one merged outlier view.
+type MergeResult struct {
+	Outliers []core.Point // On over the union of shard windows
+	Window   []core.Point // the merged window itself (tests, handoff)
+
+	MapVersion  uint64
+	ShardsTotal int // shards in the map
+	ShardsOK    int // shards whose snapshot arrived in time
+	Degraded    bool
+}
+
+// MergedEstimate fans ESTIMATE queries to every up shard, unions the
+// window snapshots (deduplicating replicated points by identity) and
+// computes the global top-N outlier set — by construction the same
+// answer baseline.Compute gives over the union of all sensor windows.
+func (c *Coordinator) MergedEstimate(ctx context.Context) (MergeResult, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return MergeResult{}, ErrClosed
+	}
+	version := c.smap.Version()
+	total := c.smap.Len()
+	var targets []*shardState
+	for _, addr := range c.smap.Shards() {
+		if st := c.shards[addr]; st != nil && st.up {
+			targets = append(targets, st)
+		}
+	}
+	if len(targets) == 0 {
+		// Every shard looks down (or the probes are flapping): query
+		// them all anyway — a shard that answers is better evidence
+		// than a stale verdict, and one that is really down just eats
+		// its timeout.
+		for _, addr := range c.smap.Shards() {
+			if st := c.shards[addr]; st != nil {
+				targets = append(targets, st)
+			}
+		}
+	}
+	c.mu.Unlock()
+
+	ctx, cancel := context.WithTimeout(ctx, c.cfg.QueryTimeout)
+	defer cancel()
+	perAttempt := c.cfg.QueryTimeout / time.Duration(c.cfg.RetryAttempts)
+
+	var (
+		wg    sync.WaitGroup
+		setMu sync.Mutex
+		union = core.NewSet()
+		ok    int
+	)
+	for _, st := range targets {
+		wg.Add(1)
+		go func(st *shardState) {
+			defer wg.Done()
+			var pts []core.Point
+			err := retry(ctx, c.cfg.RetryAttempts, perAttempt, func(ctx context.Context) error {
+				var err error
+				pts, err = c.client.estimate(ctx, st.udp)
+				return err
+			})
+			if err != nil {
+				return
+			}
+			setMu.Lock()
+			defer setMu.Unlock()
+			ok++
+			for _, p := range pts {
+				union.AddMinHop(p)
+			}
+		}(st)
+	}
+	wg.Wait()
+
+	res := MergeResult{
+		Window:      union.Points(),
+		MapVersion:  version,
+		ShardsTotal: total,
+		ShardsOK:    ok,
+		Degraded:    ok < total,
+	}
+	res.Outliers = core.TopN(c.cfg.Detector.Ranker, union, c.cfg.Detector.N)
+	c.merges.Add(1)
+	if res.Degraded {
+		c.mergesDegraded.Add(1)
+	}
+	if ok == 0 && total > 0 {
+		return res, errors.New("cluster: no shard answered the estimate query")
+	}
+	return res, nil
+}
+
+// AddShard registers a new shard and rebalances: the map version
+// advances, every shard is re-ASSIGNed, and sensors gaining the new
+// shard as an owner are handed off to it by their current owners.
+func (c *Coordinator) AddShard(addr string) error {
+	udp, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return fmt.Errorf("cluster: resolve shard %q: %w", addr, err)
+	}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return ErrClosed
+	}
+	if _, dup := c.shards[addr]; dup {
+		c.mu.Unlock()
+		return fmt.Errorf("cluster: shard %s already registered", addr)
+	}
+	// Register the shard and copy the windows it will own BEFORE
+	// publishing the new map: once the map version moves, resyncs evict
+	// the moved sensors from their old owners, and with Replicas 1 the
+	// old owner held the only copy. Routing keeps using the old map
+	// during the copy, so no reading is mis-homed meanwhile.
+	oldMap := c.smap
+	newMap := c.smap.WithShard(addr)
+	c.shards[addr] = &shardState{addr: addr, udp: udp, up: true}
+	seen := c.seenSensorsLocked()
+	c.mu.Unlock()
+	c.rebalance(oldMap, newMap, seen)
+
+	c.mu.Lock()
+	c.smap = newMap
+	for _, st := range c.shards {
+		st.synced = false
+	}
+	c.mu.Unlock()
+	c.cfg.Logf("cluster: shard %s added (map v%d)", addr, newMap.Version())
+	c.kickResyncs()
+	return nil
+}
+
+// rebalance hands the window of every sensor that gained an owner under
+// the new map off from a surviving old owner to the shards that gained
+// it.
+func (c *Coordinator) rebalance(oldMap, newMap *ShardMap, seen []core.NodeID) {
+	for _, sensor := range seen {
+		old := oldMap.Owners(sensor, c.cfg.Replicas)
+		var gained []string
+		for _, a := range newMap.Owners(sensor, c.cfg.Replicas) {
+			if !slices.Contains(old, a) {
+				gained = append(gained, a)
+			}
+		}
+		if len(gained) == 0 {
+			continue
+		}
+		var src *shardState
+		c.mu.Lock()
+		for _, a := range old {
+			if st := c.shards[a]; st != nil && st.up {
+				src = st
+				break
+			}
+		}
+		c.mu.Unlock()
+		if src == nil {
+			continue
+		}
+		c.moveSensor(sensor, src, gained)
+	}
+}
+
+// RemoveShard drains and deregisters a shard: while it is still
+// reachable its sensors' windows are handed off to their new owners
+// first, then the map version advances and the rest re-ASSIGNs.
+func (c *Coordinator) RemoveShard(addr string) error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return ErrClosed
+	}
+	st, ok := c.shards[addr]
+	if !ok {
+		c.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrUnknownShard, addr)
+	}
+	oldMap := c.smap
+	newMap := c.smap.WithoutShard(addr)
+	drainable := st.up && newMap.Len() > 0
+	seen := c.seenSensorsLocked()
+	c.mu.Unlock()
+
+	if drainable {
+		for _, sensor := range oldMap.Owned(addr, seen, c.cfg.Replicas) {
+			// Only sensors that would lose their last copy need moving.
+			if c.anyUp(remove(oldMap.Owners(sensor, c.cfg.Replicas), addr)) {
+				continue
+			}
+			c.moveSensor(sensor, st, newMap.Owners(sensor, c.cfg.Replicas))
+		}
+	}
+
+	c.mu.Lock()
+	c.smap = newMap
+	delete(c.shards, addr)
+	for _, other := range c.shards {
+		other.synced = false
+	}
+	c.mu.Unlock()
+	c.cfg.Logf("cluster: shard %s removed (map v%d)", addr, newMap.Version())
+	c.kickResyncs()
+	return nil
+}
+
+func remove(addrs []string, addr string) []string {
+	out := make([]string, 0, len(addrs))
+	for _, a := range addrs {
+		if a != addr {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+func (c *Coordinator) anyUp(addrs []string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, a := range addrs {
+		if st := c.shards[a]; st != nil && st.up {
+			return true
+		}
+	}
+	return false
+}
+
+// transferWindow ships one sensor's window points to dst in
+// byte-budgeted chunks, each chunk retried independently (re-delivery
+// is a no-op: the points carry their identities).
+func (c *Coordinator) transferWindow(dst *shardState, sensor core.NodeID, pts []core.Point) error {
+	perAttempt := c.cfg.QueryTimeout / time.Duration(c.cfg.RetryAttempts)
+	for _, chunk := range chunkByBytes(pts, c.cfg.MaxFrameBytes) {
+		if len(chunk) == 0 {
+			continue
+		}
+		err := retry(c.ctx, c.cfg.RetryAttempts, perAttempt, func(ctx context.Context) error {
+			_, err := c.client.handoffTransfer(ctx, dst.udp, sensor, chunk)
+			return err
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// moveSensor copies one sensor's window from src to each destination.
+func (c *Coordinator) moveSensor(sensor core.NodeID, src *shardState, dsts []string) {
+	perAttempt := c.cfg.QueryTimeout / time.Duration(c.cfg.RetryAttempts)
+	var pts []core.Point
+	err := retry(c.ctx, c.cfg.RetryAttempts, perAttempt, func(ctx context.Context) error {
+		var err error
+		pts, err = c.client.handoffFetch(ctx, src.udp, sensor)
+		return err
+	})
+	if err != nil || len(pts) == 0 {
+		return
+	}
+	moved := false
+	for _, dst := range dsts {
+		st := c.shardState(dst)
+		if st == nil || !st.up {
+			continue
+		}
+		if c.transferWindow(st, sensor, pts) == nil {
+			moved = true
+		}
+	}
+	if moved {
+		c.handoffSen.Add(1)
+		c.handoffPts.Add(uint64(len(pts)))
+		c.cfg.Logf("cluster: sensor %d handed off (%d points)", sensor, len(pts))
+	}
+}
+
+func (c *Coordinator) seenSensorsLocked() []core.NodeID {
+	out := make([]core.NodeID, 0, len(c.sensors))
+	for id := range c.sensors {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// healthLoop probes every shard each interval and drives the
+// up/down/resync state machine. Probes are fire-and-forget with a
+// per-shard in-flight guard: one unreachable shard eating its full
+// ProbeTimeout must not stretch the probe period for the healthy ones.
+func (c *Coordinator) healthLoop() {
+	defer close(c.healthDone)
+	ticker := time.NewTicker(c.cfg.HealthInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-c.ctx.Done():
+			return
+		case <-ticker.C:
+		}
+		c.mu.Lock()
+		targets := make([]*shardState, 0, len(c.shards))
+		for _, st := range c.shards {
+			if !st.probing {
+				st.probing = true
+				targets = append(targets, st)
+			}
+		}
+		c.mu.Unlock()
+		for _, st := range targets {
+			go func(st *shardState) {
+				ctx, cancel := context.WithTimeout(c.ctx, c.cfg.ProbeTimeout)
+				h, err := c.client.health(ctx, st.udp)
+				cancel()
+				if err != nil {
+					c.noteMiss(st)
+				} else {
+					c.noteUp(st, h)
+				}
+				c.mu.Lock()
+				st.probing = false
+				c.mu.Unlock()
+			}(st)
+		}
+	}
+}
+
+func (c *Coordinator) noteMiss(st *shardState) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st.misses++
+	if st.misses >= c.cfg.HealthMisses && st.up {
+		st.up = false
+		st.synced = false
+		c.flaps.Add(1)
+		c.cfg.Logf("cluster: shard %s marked down after %d missed probes", st.addr, st.misses)
+	}
+}
+
+func (c *Coordinator) noteUp(st *shardState, h protocol.HealthBody) {
+	c.mu.Lock()
+	wasDown := !st.up
+	st.up = true
+	st.misses = 0
+	st.last = h
+	st.lastAt = time.Now()
+	version := c.smap.Version()
+	needSync := wasDown || !st.synced || h.MapVersion != version
+	c.mu.Unlock()
+	if wasDown {
+		c.cfg.Logf("cluster: shard %s back up (reports map v%d)", st.addr, h.MapVersion)
+	}
+	if needSync {
+		go c.resync(st)
+	}
+}
+
+// kickResyncs marks every up shard for resync on the new map without
+// waiting for the next health tick.
+func (c *Coordinator) kickResyncs() {
+	c.mu.Lock()
+	targets := make([]*shardState, 0, len(c.shards))
+	for _, st := range c.shards {
+		if st.up {
+			targets = append(targets, st)
+		}
+	}
+	c.mu.Unlock()
+	for _, st := range targets {
+		go c.resync(st)
+	}
+}
+
+// resync pushes the current map epoch to one shard (ASSIGN) and, for
+// every sensor it owns that has a surviving copy on another up shard,
+// restores the window by handoff. It is how a rejoining shard — which
+// may have restarted empty — converges back to exact answers instead of
+// waiting a full window for refill; with Replicas == 1 there is no
+// surviving copy and refill is the only path (the ASSIGN still re-joins
+// the sensors so fresh readings land immediately).
+func (c *Coordinator) resync(st *shardState) {
+	c.mu.Lock()
+	if st.syncing || c.closed {
+		c.mu.Unlock()
+		return
+	}
+	st.syncing = true
+	smap := c.smap
+	seen := c.seenSensorsLocked()
+	c.mu.Unlock()
+	defer func() {
+		c.mu.Lock()
+		st.syncing = false
+		c.mu.Unlock()
+	}()
+	if smap.Index(st.addr) < 0 {
+		return // mid-AddShard: registered but not published yet
+	}
+
+	owned := smap.Owned(st.addr, seen, c.cfg.Replicas)
+	isOwned := make(map[core.NodeID]bool, len(owned))
+	for _, id := range owned {
+		isOwned[id] = true
+	}
+	var evict []core.NodeID
+	for _, id := range seen {
+		if !isOwned[id] {
+			evict = append(evict, id)
+		}
+	}
+	body := protocol.AssignBody{
+		MapVersion: smap.Version(),
+		ShardIndex: uint16(smap.Index(st.addr)),
+		ShardCount: uint16(smap.Len()),
+		Sensors:    owned,
+		Evict:      evict,
+	}
+	perAttempt := c.cfg.QueryTimeout / time.Duration(c.cfg.RetryAttempts)
+	err := retry(c.ctx, c.cfg.RetryAttempts, perAttempt, func(ctx context.Context) error {
+		_, err := c.client.assign(ctx, st.udp, body)
+		return err
+	})
+	if err != nil {
+		return // next health tick retries
+	}
+	c.assigns.Add(1)
+
+	restored := 0
+	for _, sensor := range owned {
+		var src *shardState
+		c.mu.Lock()
+		for _, addr := range remove(smap.Owners(sensor, c.cfg.Replicas), st.addr) {
+			if other := c.shards[addr]; other != nil && other.up && addr != st.addr {
+				src = other
+				break
+			}
+		}
+		c.mu.Unlock()
+		if src == nil {
+			continue
+		}
+		var pts []core.Point
+		err := retry(c.ctx, c.cfg.RetryAttempts, perAttempt, func(ctx context.Context) error {
+			var err error
+			pts, err = c.client.handoffFetch(ctx, src.udp, sensor)
+			return err
+		})
+		if err != nil || len(pts) == 0 {
+			continue
+		}
+		if c.transferWindow(st, sensor, pts) == nil {
+			restored++
+			c.handoffSen.Add(1)
+			c.handoffPts.Add(uint64(len(pts)))
+		}
+	}
+	c.mu.Lock()
+	// Only mark synced if the map did not move underneath the resync.
+	if c.smap.Version() == smap.Version() {
+		st.synced = true
+	}
+	c.mu.Unlock()
+	if restored > 0 {
+		c.cfg.Logf("cluster: shard %s resynced, %d sensors restored by handoff", st.addr, restored)
+	}
+}

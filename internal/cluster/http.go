@@ -1,0 +1,236 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+
+	"innet/internal/core"
+	"innet/internal/ingest"
+)
+
+// The coordinator speaks the same observation wire format as innetd
+// (ingest.WireBatch / ingest.WireBatchResult and the UDP line protocol),
+// so producers need no changes when a deployment grows from one process
+// to a cluster — only the address they point at.
+
+// WireMergedEstimate is the GET /v1/outliers response body: the merged
+// view plus how complete it is.
+type WireMergedEstimate struct {
+	Outliers    []ingest.WireOutlier `json:"outliers"`
+	ShardsTotal int                  `json:"shards_total"`
+	ShardsOK    int                  `json:"shards_ok"`
+	Degraded    bool                 `json:"degraded"`
+	MapVersion  uint64               `json:"map_version"`
+}
+
+// Handler returns the coordinator's HTTP API:
+//
+//	POST   /v1/observations   ingest a JSON batch (routed to owner shards)
+//	GET    /v1/outliers       merged outlier estimate across shards
+//	GET    /v1/shards         shard states (up/synced/misses/fleet size)
+//	POST   /v1/shards/{addr}  add a shard and rebalance
+//	DELETE /v1/shards/{addr}  drain and remove a shard
+//	GET    /healthz           liveness + shard counts
+//	GET    /metrics           counters in Prometheus text format
+func (c *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/observations", c.handleObservations)
+	mux.HandleFunc("GET /v1/outliers", c.handleOutliers)
+	mux.HandleFunc("GET /v1/shards", c.handleShards)
+	mux.HandleFunc("POST /v1/shards/{addr}", c.handleAddShard)
+	mux.HandleFunc("DELETE /v1/shards/{addr}", c.handleRemoveShard)
+	mux.HandleFunc("GET /healthz", c.handleHealth)
+	mux.HandleFunc("GET /metrics", c.handleMetrics)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func (c *Coordinator) handleObservations(w http.ResponseWriter, r *http.Request) {
+	var batch ingest.WireBatch
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 8<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&batch); err != nil {
+		c.rejected.Add(1)
+		writeError(w, http.StatusBadRequest, fmt.Errorf("cluster: bad batch: %w", err))
+		return
+	}
+	readings := make([]ingest.Reading, len(batch.Readings))
+	for i, wr := range batch.Readings {
+		readings[i] = ingest.Reading{
+			Sensor: core.NodeID(wr.Sensor),
+			At:     time.Duration(wr.AtMS) * time.Millisecond,
+			Values: wr.Values,
+		}
+	}
+	errs := c.IngestBatch(readings)
+	result := ingest.WireBatchResult{}
+	for i, err := range errs {
+		if err != nil {
+			result.Rejected = append(result.Rejected, ingest.WireRejection{Index: i, Error: err.Error()})
+			continue
+		}
+		result.Accepted++
+	}
+	status := http.StatusAccepted
+	if result.Accepted == 0 && len(result.Rejected) > 0 {
+		status = http.StatusBadRequest
+	}
+	writeJSON(w, status, result)
+}
+
+func (c *Coordinator) handleOutliers(w http.ResponseWriter, r *http.Request) {
+	res, err := c.MergedEstimate(r.Context())
+	if err != nil {
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	resp := WireMergedEstimate{
+		Outliers:    make([]ingest.WireOutlier, 0, len(res.Outliers)),
+		ShardsTotal: res.ShardsTotal,
+		ShardsOK:    res.ShardsOK,
+		Degraded:    res.Degraded,
+		MapVersion:  res.MapVersion,
+	}
+	for _, p := range res.Outliers {
+		resp.Outliers = append(resp.Outliers, ingest.WireOutlier{
+			Sensor: uint16(p.ID.Origin),
+			Seq:    p.ID.Seq,
+			AtMS:   p.Birth.Milliseconds(),
+			Values: p.Value,
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (c *Coordinator) handleShards(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"shards": c.ShardInfos()})
+}
+
+func (c *Coordinator) handleAddShard(w http.ResponseWriter, r *http.Request) {
+	addr := r.PathValue("addr")
+	if err := c.AddShard(addr); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]any{"added": addr})
+}
+
+func (c *Coordinator) handleRemoveShard(w http.ResponseWriter, r *http.Request) {
+	addr := r.PathValue("addr")
+	switch err := c.RemoveShard(addr); {
+	case err == nil:
+		writeJSON(w, http.StatusOK, map[string]any{"removed": addr})
+	case errors.Is(err, ErrUnknownShard):
+		writeError(w, http.StatusNotFound, err)
+	default:
+		writeError(w, http.StatusBadRequest, err)
+	}
+}
+
+func (c *Coordinator) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	st := c.Stats()
+	status := "ok"
+	if st.ShardsUp < st.ShardsTotal {
+		status = "degraded"
+	}
+	if st.ShardsUp == 0 {
+		status = "down"
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":       status,
+		"shards_up":    st.ShardsUp,
+		"shards_total": st.ShardsTotal,
+		"sensors":      st.Sensors,
+	})
+}
+
+func (c *Coordinator) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	st := c.Stats()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	for _, m := range []struct {
+		name  string
+		value uint64
+	}{
+		{"innetcoord_readings_routed_total", st.Routed},
+		{"innetcoord_readings_rejected_total", st.Rejected},
+		{"innetcoord_readings_stale_total", st.Stale},
+		{"innetcoord_readings_failed_total", st.Failed},
+		{"innetcoord_readings_rerouted_total", st.Reroutes},
+		{"innetcoord_readings_frames_total", st.Frames},
+		{"innetcoord_merges_total", st.Merges},
+		{"innetcoord_merges_degraded_total", st.MergesDegraded},
+		{"innetcoord_assigns_total", st.Assigns},
+		{"innetcoord_handoff_sensors_total", st.HandoffSensors},
+		{"innetcoord_handoff_points_total", st.HandoffPoints},
+		{"innetcoord_shard_flaps_total", st.Flaps},
+		{"innetcoord_shards_up", uint64(st.ShardsUp)},
+		{"innetcoord_shards", uint64(st.ShardsTotal)},
+		{"innetcoord_sensors", uint64(st.Sensors)},
+	} {
+		fmt.Fprintf(w, "%s %d\n", m.name, m.value)
+	}
+	for _, sh := range c.ShardInfos() {
+		up := 0
+		if sh.Up {
+			up = 1
+		}
+		fmt.Fprintf(w, "innetcoord_shard_up{shard=%q} %d\n", sh.Addr, up)
+	}
+}
+
+// ServeUDP accepts the innetd line protocol ("<sensor> <at_ms> <v1>
+// [v2 ...]" per line) and routes each parsed reading, so firehose
+// producers can point at the coordinator unchanged. Best-effort like the
+// shard-local listener: rejections are counted, not reported. It returns
+// when conn is closed or the coordinator shuts down.
+func (c *Coordinator) ServeUDP(conn net.PacketConn) error {
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		select {
+		case <-c.ctx.Done():
+			_ = conn.SetReadDeadline(time.Now())
+		case <-done:
+		}
+	}()
+	buf := make([]byte, 64*1024)
+	for {
+		n, _, err := conn.ReadFrom(buf)
+		if err != nil {
+			if c.ctx.Err() != nil {
+				return ErrClosed
+			}
+			return err
+		}
+		var readings []ingest.Reading
+		for _, line := range bytes.Split(buf[:n], []byte{'\n'}) {
+			line = bytes.TrimSpace(line)
+			if len(line) == 0 {
+				continue
+			}
+			r, err := ingest.ParseLine(line)
+			if err != nil {
+				c.rejected.Add(1)
+				continue
+			}
+			readings = append(readings, r)
+		}
+		if len(readings) > 0 {
+			c.IngestBatch(readings)
+		}
+	}
+}

@@ -1,0 +1,369 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"innet/internal/core"
+	"innet/internal/ingest"
+	"innet/internal/protocol"
+)
+
+// defaultFrameBytes is the point-payload byte budget per control frame,
+// comfortably under the 65507-byte UDP payload ceiling with header room.
+const defaultFrameBytes = 60000
+
+// chunkByBytes splits a point list into chunks whose encoded size stays
+// within the budget (one max-dimension point is ~2 KiB, so every chunk
+// holds at least one point). It always returns at least one — possibly
+// empty — chunk, so "send every chunk" also answers an empty query.
+func chunkByBytes(pts []core.Point, budget int) [][]core.Point {
+	chunks := [][]core.Point{nil}
+	bytes := 0
+	for _, p := range pts {
+		size := core.EncodedPointSize(len(p.Value))
+		if last := len(chunks) - 1; len(chunks[last]) > 0 && bytes+size > budget {
+			chunks = append(chunks, nil)
+			bytes = 0
+		}
+		chunks[len(chunks)-1] = append(chunks[len(chunks)-1], p)
+		bytes += size
+	}
+	return chunks
+}
+
+// ShardServer is the shard-side control plane: a UDP listener that
+// bridges shard-control frames into the process's ingest.Service. It is
+// what `innetd -shard` runs next to the normal HTTP/UDP front doors, so
+// a shard remains a fully functional innetd — the coordinator is an
+// additional client, not a replacement interface.
+//
+// All handlers are idempotent, matching the coordinator's retry policy:
+// re-ASSIGN re-joins already-joined sensors, re-delivered READINGS and
+// HANDOFF points carry preassigned identities and deduplicate inside the
+// detectors' windows, and queries are pure.
+type ShardServer struct {
+	svc      *ingest.Service
+	conn     *net.UDPConn
+	logf     func(string, ...any)
+	maxBytes int
+
+	mapVersion atomic.Uint64
+
+	// slots bounds concurrent heavy handlers; see Serve.
+	slots chan struct{}
+	wg    sync.WaitGroup
+
+	ctx    context.Context
+	cancel context.CancelFunc
+}
+
+// ShardServerConfig parameterizes a ShardServer.
+type ShardServerConfig struct {
+	// Service is the shard's ingest fleet. Required. It should run with
+	// AutoJoin so HANDOFF and READINGS for new sensors attach them.
+	Service *ingest.Service
+
+	// Addr is the UDP control listen address, e.g. "127.0.0.1:9100".
+	// Required; use port 0 to let the kernel pick (see Addr).
+	Addr string
+
+	// MaxFrameBytes is the byte budget for one frame's point payload;
+	// outgoing point lists are fragmented to stay under it. The default
+	// (60000) leaves headroom below the 65507-byte UDP payload ceiling
+	// at any feature dimension the wire admits.
+	MaxFrameBytes int
+
+	// Logf, when set, receives one line per control action.
+	Logf func(string, ...any)
+}
+
+// NewShardServer binds the control listener. Call Serve to start
+// handling frames.
+func NewShardServer(cfg ShardServerConfig) (*ShardServer, error) {
+	if cfg.Service == nil {
+		return nil, errors.New("cluster: ShardServerConfig.Service is required")
+	}
+	if cfg.MaxFrameBytes <= 0 {
+		cfg.MaxFrameBytes = defaultFrameBytes
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	udpAddr, err := net.ResolveUDPAddr("udp", cfg.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: resolve %q: %w", cfg.Addr, err)
+	}
+	conn, err := net.ListenUDP("udp", udpAddr)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: listen %q: %w", cfg.Addr, err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	return &ShardServer{
+		svc:      cfg.Service,
+		conn:     conn,
+		logf:     cfg.Logf,
+		maxBytes: cfg.MaxFrameBytes,
+		slots:    make(chan struct{}, 8),
+		ctx:      ctx,
+		cancel:   cancel,
+	}, nil
+}
+
+// Addr returns the bound control address (useful with port 0).
+func (s *ShardServer) Addr() string { return s.conn.LocalAddr().String() }
+
+// MapVersion returns the shard-map epoch last adopted via ASSIGN.
+func (s *ShardServer) MapVersion() uint64 { return s.mapVersion.Load() }
+
+// Close stops the listener; a blocked Serve returns.
+func (s *ShardServer) Close() error {
+	s.cancel()
+	return s.conn.Close()
+}
+
+// Serve handles control frames until Close. It always returns a non-nil
+// error, net.ErrClosed after a clean Close; in-flight handlers are
+// waited for before it returns.
+//
+// HEALTH is answered inline on the read loop — it must never queue
+// behind work, or a shard gets marked down precisely because it is busy
+// serving a snapshot. Everything else runs on its own goroutine behind
+// a small semaphore: handlers only touch the concurrency-safe
+// ingest.Service and the socket, and the coordinator's retries cover a
+// frame shed because all slots were busy.
+func (s *ShardServer) Serve() error {
+	defer s.wg.Wait()
+	buf := make([]byte, 64*1024)
+	for {
+		n, from, err := s.conn.ReadFromUDP(buf)
+		if err != nil {
+			return err
+		}
+		f, err := protocol.DecodeFrame(buf[:n])
+		if err != nil || f.Response() {
+			continue // not ours / echo: drop
+		}
+		if f.Kind == protocol.FrameHealth {
+			s.finish(f, from, s.respond(from, f, protocol.FrameHealth, protocol.HealthBody{
+				MapVersion: s.mapVersion.Load(),
+				Sensors:    uint16(len(s.svc.Sensors())),
+			}.Encode()))
+			continue
+		}
+		select {
+		case s.slots <- struct{}{}:
+		default:
+			continue // saturated: shed, like a full radio; retries cover it
+		}
+		body := make([]byte, len(f.Body)) // the read loop reuses buf
+		copy(body, f.Body)
+		f.Body = body
+		s.wg.Add(1)
+		go func(f protocol.Frame, from *net.UDPAddr) {
+			defer s.wg.Done()
+			defer func() { <-s.slots }()
+			s.handle(f, from)
+		}(f, from)
+	}
+}
+
+// handle dispatches one request frame and writes its response(s) back to
+// the requester. Handler errors are logged, not fatal: the coordinator's
+// retry covers transient failures, and a malformed frame must not take
+// the control plane down.
+func (s *ShardServer) handle(f protocol.Frame, from *net.UDPAddr) {
+	var err error
+	switch f.Kind {
+	case protocol.FrameAssign:
+		err = s.handleAssign(f, from)
+	case protocol.FrameHandoff:
+		if f.Flags&protocol.FlagTransfer != 0 {
+			err = s.handleHandoffTransfer(f, from)
+		} else {
+			err = s.handleHandoffFetch(f, from)
+		}
+	case protocol.FrameEstimate:
+		err = s.handleEstimate(f, from)
+	case protocol.FrameReadings:
+		err = s.handleReadings(f, from)
+	}
+	s.finish(f, from, err)
+}
+
+// finish logs a handler failure.
+func (s *ShardServer) finish(f protocol.Frame, from *net.UDPAddr, err error) {
+	if err != nil && s.ctx.Err() == nil {
+		s.logf("shardctl: %v from %s: %v", f.Kind, from, err)
+	}
+}
+
+func (s *ShardServer) respond(to *net.UDPAddr, req protocol.Frame, kind protocol.FrameKind, body []byte) error {
+	frame := protocol.EncodeFrame(protocol.Frame{
+		Kind:  kind,
+		Flags: protocol.FlagResponse,
+		ReqID: req.ReqID,
+		Body:  body,
+	})
+	_, err := s.conn.WriteToUDP(frame, to)
+	return err
+}
+
+// handleAssign adopts a shard-map epoch: the owned sensors are
+// pre-joined (so a freshly (re)started shard has its fleet up before
+// readings land) and the explicitly evicted ones are detached — a moved
+// sensor's peer would otherwise never advance its clock again and serve
+// expired points into the merge forever. The departed sensors' points
+// still held by remaining peers age out of the sliding windows normally
+// (§5.3). Eviction only applies when the epoch is newly adopted, so a
+// reordered stale ASSIGN neither rolls the version back nor detaches
+// anything.
+func (s *ShardServer) handleAssign(f protocol.Frame, from *net.UDPAddr) error {
+	body, err := protocol.DecodeAssign(f.Body)
+	if err != nil {
+		return err
+	}
+	for _, id := range body.Sensors {
+		if err := s.svc.Join(id); err != nil && !errors.Is(err, ingest.ErrAlreadyJoined) {
+			return fmt.Errorf("join %d: %w", id, err)
+		}
+	}
+	adopted := false
+	for {
+		cur := s.mapVersion.Load()
+		if body.MapVersion <= cur {
+			break
+		}
+		if s.mapVersion.CompareAndSwap(cur, body.MapVersion) {
+			adopted = true
+			break
+		}
+	}
+	if adopted {
+		for _, id := range body.Evict {
+			_ = s.svc.Leave(id) // not-joined is fine: nothing to detach
+		}
+	}
+	s.logf("shardctl: ASSIGN v%d slot %d/%d, %d sensors, %d evictions",
+		body.MapVersion, body.ShardIndex, body.ShardCount, len(body.Sensors), len(body.Evict))
+	return s.respond(from, f, protocol.FrameAssign, protocol.AckBody{Count: s.mapVersion.Load()}.Encode())
+}
+
+// ingestPoints feeds identity-stamped points through the normal ingest
+// front door (validation, staleness gate, bounded queues) and reports
+// how many were admitted.
+func (s *ShardServer) ingestPoints(pts []core.Point) uint64 {
+	var accepted uint64
+	for _, p := range pts {
+		err := s.svc.Ingest(ingest.Reading{
+			Sensor: p.ID.Origin,
+			At:     p.Birth,
+			Values: p.Value,
+			Seq:    p.ID.Seq,
+			HasSeq: true,
+		})
+		if err == nil {
+			accepted++
+		}
+	}
+	return accepted
+}
+
+func (s *ShardServer) handleReadings(f protocol.Frame, from *net.UDPAddr) error {
+	body, err := protocol.DecodeReadings(f.Body)
+	if err != nil {
+		return err
+	}
+	accepted := s.ingestPoints(body.Points)
+	return s.respond(from, f, protocol.FrameAck, protocol.AckBody{Count: accepted}.Encode())
+}
+
+// handleHandoffTransfer adopts a sensor's window from another shard.
+// Unlike live READINGS — where latest-wins shedding under burst is the
+// documented policy — a window restore must not lose points, so the
+// batch is fed in sub-batches below the default queue depth with a
+// flush-to-quiescence between them.
+func (s *ShardServer) handleHandoffTransfer(f protocol.Frame, from *net.UDPAddr) error {
+	body, err := protocol.DecodeHandoff(f.Body)
+	if err != nil {
+		return err
+	}
+	var accepted uint64
+	const sub = 64
+	for lo := 0; lo < len(body.Points); lo += sub {
+		hi := lo + sub
+		if hi > len(body.Points) {
+			hi = len(body.Points)
+		}
+		accepted += s.ingestPoints(body.Points[lo:hi])
+		if err := s.svc.Flush(s.ctx); err != nil {
+			return err
+		}
+	}
+	s.logf("shardctl: HANDOFF adopted sensor %d, %d/%d points", body.Sensor, accepted, len(body.Points))
+	return s.respond(from, f, protocol.FrameAck, protocol.AckBody{Count: accepted}.Encode())
+}
+
+// handleHandoffFetch returns one sensor's current window points, in as
+// many fragments as the byte budget requires. The sensor's own peer
+// holds every point it originated (plus the exchanged rest), so one
+// event-loop round trip suffices; a sensor this shard never attached
+// has nothing to hand off.
+func (s *ShardServer) handleHandoffFetch(f protocol.Frame, from *net.UDPAddr) error {
+	body, err := protocol.DecodeHandoff(f.Body)
+	if err != nil {
+		return err
+	}
+	var pts []core.Point
+	if held, err := s.svc.HoldingsOf(s.ctx, body.Sensor); err == nil {
+		for _, p := range held {
+			if p.ID.Origin == body.Sensor {
+				pts = append(pts, p)
+			}
+		}
+	}
+	chunks := chunkByBytes(pts, s.maxBytes)
+	for i, chunk := range chunks {
+		resp, err := protocol.HandoffBody{
+			Sensor:    body.Sensor,
+			Frag:      uint16(i),
+			FragCount: uint16(len(chunks)),
+			Points:    chunk,
+		}.Encode()
+		if err != nil {
+			return err
+		}
+		if err := s.respond(from, f, protocol.FrameHandoff, resp); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// handleEstimate streams the shard's window snapshot back as however
+// many fragments the byte budget requires.
+func (s *ShardServer) handleEstimate(f protocol.Frame, from *net.UDPAddr) error {
+	snap, err := s.svc.Snapshot(s.ctx)
+	if err != nil {
+		return err
+	}
+	chunks := chunkByBytes(snap, s.maxBytes)
+	for i, chunk := range chunks {
+		body, err := protocol.EstimateBody{
+			Frag:      uint16(i),
+			FragCount: uint16(len(chunks)),
+			Points:    chunk,
+		}.Encode()
+		if err != nil {
+			return err
+		}
+		if err := s.respond(from, f, protocol.FrameEstimate, body); err != nil {
+			return err
+		}
+	}
+	return nil
+}

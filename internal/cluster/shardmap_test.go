@@ -1,0 +1,86 @@
+package cluster
+
+import (
+	"testing"
+
+	"innet/internal/core"
+)
+
+var mapShards = []string{"127.0.0.1:9101", "127.0.0.1:9102", "127.0.0.1:9103"}
+
+func TestShardMapDeterministicAndComplete(t *testing.T) {
+	m := NewShardMap(mapShards)
+	if m.Version() != 1 {
+		t.Fatalf("fresh map version %d, want 1", m.Version())
+	}
+	counts := map[string]int{}
+	for s := core.NodeID(1); s <= 200; s++ {
+		owners := m.Owners(s, 2)
+		if len(owners) != 2 {
+			t.Fatalf("sensor %d: %d owners, want 2", s, len(owners))
+		}
+		if owners[0] == owners[1] {
+			t.Fatalf("sensor %d: duplicate owner %s", s, owners[0])
+		}
+		again := m.Owners(s, 2)
+		if owners[0] != again[0] || owners[1] != again[1] {
+			t.Fatalf("sensor %d: assignment not deterministic", s)
+		}
+		counts[owners[0]]++
+	}
+	for _, addr := range mapShards {
+		if counts[addr] == 0 {
+			t.Fatalf("shard %s owns no sensors as primary out of 200", addr)
+		}
+	}
+	if got := m.Owners(1, 99); len(got) != 3 {
+		t.Fatalf("replicas above shard count: got %d owners, want 3", len(got))
+	}
+}
+
+// TestShardMapConsistentUnderChange pins the rendezvous property the
+// rebalancer relies on: removing one shard moves only the sensors that
+// shard owned; the rest keep their owners.
+func TestShardMapConsistentUnderChange(t *testing.T) {
+	m := NewShardMap(mapShards)
+	removed := mapShards[1]
+	next := m.WithoutShard(removed)
+	if next.Version() != 2 {
+		t.Fatalf("version after removal %d, want 2", next.Version())
+	}
+	for s := core.NodeID(1); s <= 200; s++ {
+		before := m.Owners(s, 1)[0]
+		after := next.Owners(s, 1)[0]
+		if before != removed && before != after {
+			t.Fatalf("sensor %d: owner churned %s → %s though %s was removed",
+				s, before, after, removed)
+		}
+	}
+	back := next.WithShard(removed)
+	if back.Version() != 3 {
+		t.Fatalf("version after re-add %d, want 3", back.Version())
+	}
+	for s := core.NodeID(1); s <= 200; s++ {
+		if back.Owners(s, 1)[0] != m.Owners(s, 1)[0] {
+			t.Fatalf("sensor %d: owner differs after remove+re-add", s)
+		}
+	}
+	if got := back.Index(removed); got != m.Index(removed) {
+		t.Fatalf("index drifted: %d vs %d", got, m.Index(removed))
+	}
+}
+
+func TestShardMapOwned(t *testing.T) {
+	m := NewShardMap(mapShards)
+	sensors := make([]core.NodeID, 0, 50)
+	for s := core.NodeID(1); s <= 50; s++ {
+		sensors = append(sensors, s)
+	}
+	total := 0
+	for _, addr := range mapShards {
+		total += len(m.Owned(addr, sensors, 1))
+	}
+	if total != len(sensors) {
+		t.Fatalf("primary ownership covers %d of %d sensors", total, len(sensors))
+	}
+}

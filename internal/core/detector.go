@@ -155,6 +155,14 @@ type Detector struct {
 	sent map[NodeID]*Set // D(i→j): points sent to each neighbor
 	recv map[NodeID]*Set // D(j→i): points received from each neighbor
 
+	// heldSup caches the ranking supporter (window snapshot, spatial
+	// index, ranking batch) over P_i, keyed on the window's mutation
+	// version: events that leave P_i unchanged — link changes, receipts
+	// of already-held points, repeated Estimate calls — reuse the index
+	// and the ranked batch instead of rebuilding both per ranking pass.
+	heldSup  *supporter
+	heldSupV uint64
+
 	stats Stats
 }
 
@@ -202,15 +210,41 @@ func (d *Detector) Holdings() *Set { return d.held.Clone() }
 // OwnPoints returns a copy of D_i, the points sampled by this sensor.
 func (d *Detector) OwnPoints() *Set { return d.own.Clone() }
 
+// heldSupporter returns the cached supporter over P_i, rebuilding it only
+// when the window content has changed since it was built.
+func (d *Detector) heldSupporter() *supporter {
+	if d.heldSup == nil || d.heldSupV != d.held.Version() {
+		d.heldSup = newSupporter(d.cfg.Ranker, d.held)
+		d.heldSupV = d.held.Version()
+	}
+	return d.heldSup
+}
+
 // Estimate returns the sensor's current outlier estimate On(P_i) in
 // (rank desc, ≺) order.
 func (d *Detector) Estimate() []Point {
-	return TopN(d.cfg.Ranker, d.held, d.cfg.N)
+	ranked := d.heldSupporter().rankAll()
+	n := d.cfg.N
+	if n > len(ranked) {
+		n = len(ranked)
+	}
+	out := make([]Point, n)
+	for i := 0; i < n; i++ {
+		out[i] = ranked[i].Point
+	}
+	return out
 }
 
 // EstimateRanked returns the current estimate with rank values attached.
 func (d *Detector) EstimateRanked() []Ranked {
-	return TopNRanked(d.cfg.Ranker, d.held, d.cfg.N)
+	ranked := d.heldSupporter().rankAll()
+	n := d.cfg.N
+	if n > len(ranked) {
+		n = len(ranked)
+	}
+	out := make([]Ranked, n)
+	copy(out, ranked[:n])
+	return out
 }
 
 // Start processes the paper's event (i): algorithm initialization. It
@@ -425,9 +459,20 @@ func (d *Detector) StepObserve(now time.Duration, p Point) *Outbound {
 // Observation is one raw reading of a batch: the sample timestamp and the
 // feature vector, before a Point identity is assigned. It is the unit the
 // streaming ingestion layer (internal/ingest) queues per sensor.
+//
+// When Assigned is set, the reading carries a caller-chosen sequence
+// number instead of taking the detector's next one. The cluster
+// coordinator uses this to stamp every reading with a deterministic
+// identity before fanning it out, so replica shards — which may see
+// different subsets and orderings under UDP loss — still mint identical
+// PointIDs for the same reading and the merged estimate deduplicates
+// instead of double-counting.
 type Observation struct {
 	Birth time.Duration
 	Value []float64
+
+	Seq      uint32
+	Assigned bool
 }
 
 // StepObserveBatch advances the clock (evicting expired window contents)
@@ -447,8 +492,14 @@ func (d *Detector) StepObserveBatch(now time.Duration, obs []Observation) ([]Poi
 	}
 	pts := make([]Point, len(obs))
 	for i, o := range obs {
-		p := NewPoint(d.cfg.Node, d.nextSeq, o.Birth, o.Value...)
-		d.nextSeq++
+		seq := d.nextSeq
+		if o.Assigned {
+			seq = o.Seq
+		}
+		p := NewPoint(d.cfg.Node, seq, o.Birth, o.Value...)
+		if seq >= d.nextSeq {
+			d.nextSeq = seq + 1
+		}
 		d.own.Add(p)
 		d.held.Add(p)
 		pts[i] = p
@@ -487,8 +538,9 @@ func (d *Detector) react() *Outbound {
 		strata := d.prepareStrata()
 		deltas = func(j NodeID) []Point { return d.semiGlobalDelta(j, strata) }
 	} else {
-		seed := d.prepareSeed(d.held)
-		deltas = func(j NodeID) []Point { return d.globalDelta(j, seed) }
+		sup := d.heldSupporter()
+		seed := d.prepareSeed(sup)
+		deltas = func(j NodeID) []Point { return d.globalDelta(j, sup, seed) }
 	}
 	for _, j := range d.Neighbors() {
 		if delta := deltas(j); len(delta) > 0 {
@@ -504,49 +556,42 @@ func (d *Detector) react() *Outbound {
 }
 
 // prepareSeed computes On(P) ∪ [P|On(P)], the neighbor-independent part
-// of Eq. (2). One supporter serves both the ranking batch and the
-// support lookups, so the spatial index over P is built at most once.
-func (d *Detector) prepareSeed(set *Set) *Set {
-	sup := newSupporter(d.cfg.Ranker, set)
-	ranked := sup.rankAll()
-	n := d.cfg.N
-	if n > len(ranked) {
-		n = len(ranked)
-	}
-	seed := NewSet()
-	estimate := make([]Point, 0, n)
-	for _, rk := range ranked[:n] {
-		estimate = append(estimate, rk.Point)
-		seed.AddMinHop(rk.Point)
-	}
-	sup.supportOf(seed, estimate)
-	return seed
+// of Eq. (2), through the given supporter over P. One supporter serves
+// the ranking batch, the support lookups, and the per-neighbor fixed
+// points, so the spatial index over P is built at most once — and, via
+// the heldSupporter cache, at most once per window change.
+func (d *Detector) prepareSeed(sup *supporter) *Set {
+	return seedFrom(sup, d.cfg.N)
 }
 
-// stratum carries the hop-filtered point set P≤h and its Eq. (2) seed.
+// stratum carries the hop-filtered point set P≤h, its supporter, and its
+// Eq. (2) seed.
 type stratum struct {
 	set  *Set
+	sup  *supporter
 	seed *Set
 }
 
 // prepareStrata computes the hop strata P≤h and their seeds for
-// h = 0..HopLimit-1.
+// h = 0..HopLimit-1. The strata are per-event derivations of P_i, so they
+// do not go through the heldSupporter cache.
 func (d *Detector) prepareStrata() []stratum {
 	strata := make([]stratum, d.cfg.HopLimit)
 	for h := range strata {
 		set := d.held.MaxHop(uint8(h))
-		strata[h] = stratum{set: set, seed: d.prepareSeed(set)}
+		sup := newSupporter(d.cfg.Ranker, set)
+		strata[h] = stratum{set: set, sup: sup, seed: d.prepareSeed(sup)}
 	}
 	return strata
 }
 
 // globalDelta computes Z_j \ (D(i→j) ∪ D(j→i)) for one neighbor under
 // Algorithm 1 and records the newly sent points in D(i→j).
-func (d *Detector) globalDelta(j NodeID, seed *Set) []Point {
+func (d *Detector) globalDelta(j NodeID, sup *supporter, seed *Set) []Point {
 	shared := d.sent[j].Union(d.recv[j])
 	z := seed
 	if !d.cfg.DisableFixedPoint {
-		z = sufficientFrom(d.cfg.Ranker, d.held, seed, shared, d.cfg.N)
+		z = sufficientFrom(d.cfg.Ranker, sup, seed, shared, d.cfg.N)
 	}
 	var delta []Point
 	for _, p := range z.Points() {
@@ -576,7 +621,7 @@ func (d *Detector) semiGlobalDelta(j NodeID, strata []stratum) []Point {
 			cutoff = uint8(h)
 		}
 		sharedH := shared.MaxHop(cutoff)
-		z := sufficientFrom(d.cfg.Ranker, st.set, st.seed, sharedH, d.cfg.N)
+		z := sufficientFrom(d.cfg.Ranker, st.sup, st.seed, sharedH, d.cfg.N)
 		for _, p := range z.Points() {
 			p.Hop++
 			merged.AddMinHop(p)

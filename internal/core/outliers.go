@@ -92,6 +92,8 @@ type supporter struct {
 	pts []Point
 	ir  indexedRanker // nil when r cannot use an index or P is small
 	ix  *Index        // built lazily, see ensureIndex
+
+	ranked []Ranked // memoized rankAll result (the snapshot is immutable)
 }
 
 func newSupporter(r Ranker, set *Set) *supporter {
@@ -117,8 +119,13 @@ func (s *supporter) ensureIndex() {
 
 // rankAll ranks every point of P against P \ {x}, sorted by descending
 // rank with the ≺ tie-break — one query per point, so the index always
-// pays for itself.
+// pays for itself. The result is memoized (the snapshot never changes),
+// so a supporter cached across events answers repeat ranking batches for
+// free; callers must treat the returned slice as read-only.
 func (s *supporter) rankAll() []Ranked {
+	if s.ranked != nil {
+		return s.ranked
+	}
 	s.ensureIndex()
 	ranked := make([]Ranked, len(s.pts))
 	if s.ix != nil {
@@ -132,6 +139,7 @@ func (s *supporter) rankAll() []Ranked {
 		}
 	}
 	sortRanked(ranked)
+	s.ranked = ranked
 	return ranked
 }
 
@@ -202,18 +210,39 @@ func SupportOf(r Ranker, set *Set, q []Point) *Set {
 // the iteration terminates. The result is not guaranteed minimal (nor is
 // the paper's).
 func Sufficient(r Ranker, set, shared *Set, n int) *Set {
-	estimate := TopN(r, set, n)
-	seed := NewSet(estimate...).Union(SupportOf(r, set, estimate))
-	return sufficientFrom(r, set, seed, shared, n)
+	sup := newSupporter(r, set)
+	return sufficientFrom(r, sup, seedFrom(sup, n), shared, n)
+}
+
+// seedFrom computes On(P) ∪ [P|On(P)], the neighbor-independent seed of
+// Eq. (2), through one supporter over P — so the ranking batch, the
+// support lookups, and the caller's fixed points all share one snapshot
+// and at most one spatial index. The detector's per-event reaction and
+// the standalone Sufficient both build on this.
+func seedFrom(sup *supporter, n int) *Set {
+	ranked := sup.rankAll()
+	if n > len(ranked) {
+		n = len(ranked)
+	}
+	seed := NewSet()
+	estimate := make([]Point, 0, n)
+	for _, rk := range ranked[:n] {
+		estimate = append(estimate, rk.Point)
+		seed.AddMinHop(rk.Point)
+	}
+	sup.supportOf(seed, estimate)
+	return seed
 }
 
 // sufficientFrom closes seed = On(P) ∪ [P|On(P)] under the Eq. (2) fixed
-// point against one link's shared ledger. Splitting the seed out lets the
-// detector compute it once per event and reuse it for every neighbor.
-// The candidate pool shared ∪ Z is maintained as a deduplicated slice so
-// the iteration allocates no per-step set unions (rank values ignore the
-// hop field, so which duplicate copy survives is immaterial).
-func sufficientFrom(r Ranker, set, seed, shared *Set, n int) *Set {
+// point against one link's shared ledger. Splitting the seed — and the
+// supporter over P — out lets the detector compute both once per event
+// (or reuse them across events while the window is unchanged) and share
+// them across every neighbor. The candidate pool shared ∪ Z is maintained
+// as a deduplicated slice so the iteration allocates no per-step set
+// unions (rank values ignore the hop field, so which duplicate copy
+// survives is immaterial).
+func sufficientFrom(r Ranker, sup *supporter, seed, shared *Set, n int) *Set {
 	z := seed.Clone()
 	present := make(map[PointID]bool, shared.Len()+z.Len())
 	candidates := make([]Point, 0, shared.Len()+z.Len())
@@ -225,10 +254,6 @@ func sufficientFrom(r Ranker, set, seed, shared *Set, n int) *Set {
 	}
 	shared.ForEach(add)
 	z.ForEach(add)
-	// P is fixed across the iteration: snapshot it once. Support
-	// lookups stay on the scan path — the loop issues only ~n queries
-	// per round, far too few to amortize an index build (see supporter).
-	sup := newSupporter(r, set)
 	for {
 		approx := topNSlice(r, candidates, n)
 		support := NewSet()

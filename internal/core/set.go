@@ -16,6 +16,23 @@ import (
 // field wins (AddMinHop), matching the paper's [Q]min operator.
 type Set struct {
 	m map[PointID]Point
+
+	// version counts content mutations. Every operation that changes
+	// what the set holds (insert, replace, hop lowering, removal,
+	// eviction) bumps it, so a snapshot taken at version v is valid
+	// exactly as long as Version still returns v. The detector keys its
+	// cached ranking supporter — and with it the spatial index — on the
+	// window's version, skipping the per-event rebuild while the window
+	// is unchanged.
+	version uint64
+}
+
+// Version returns the mutation counter; see the field comment.
+func (s *Set) Version() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.version
 }
 
 // NewSet returns a set holding the given points. Duplicate IDs keep the
@@ -59,6 +76,7 @@ func (s *Set) Get(id PointID) (Point, bool) {
 func (s *Set) Add(p Point) bool {
 	_, existed := s.m[p.ID]
 	s.m[p.ID] = p
+	s.version++ // an overwrite can change the held copy's fields
 	return !existed
 }
 
@@ -71,10 +89,12 @@ func (s *Set) AddMinHop(p Point) (added, lowered bool) {
 	old, existed := s.m[p.ID]
 	if !existed {
 		s.m[p.ID] = p
+		s.version++
 		return true, false
 	}
 	if p.Hop < old.Hop {
 		s.m[p.ID] = p
+		s.version++
 		return false, true
 	}
 	return false, false
@@ -92,6 +112,7 @@ func (s *Set) SetHop(id PointID, hop uint8) bool {
 	}
 	p.Hop = hop
 	s.m[id] = p
+	s.version++
 	return true
 }
 
@@ -102,6 +123,9 @@ func (s *Set) Remove(id PointID) bool {
 	}
 	_, ok := s.m[id]
 	delete(s.m, id)
+	if ok {
+		s.version++
+	}
 	return ok
 }
 
@@ -207,6 +231,9 @@ func (s *Set) EvictBefore(cutoff time.Duration) int {
 			evicted++
 		}
 	}
+	if evicted > 0 {
+		s.version++
+	}
 	return evicted
 }
 
@@ -223,6 +250,9 @@ func (s *Set) EvictOrigin(origin NodeID) int {
 			delete(s.m, id)
 			evicted++
 		}
+	}
+	if evicted > 0 {
+		s.version++
 	}
 	return evicted
 }

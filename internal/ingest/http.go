@@ -152,11 +152,12 @@ func (s *Service) handleSensors(w http.ResponseWriter, _ *http.Request) {
 	type sensorInfo struct {
 		ID    uint16 `json:"id"`
 		Queue int    `json:"queue"`
+		Drops uint64 `json:"drops"`
 	}
-	ids := s.Sensors()
-	out := make([]sensorInfo, 0, len(ids))
-	for _, id := range ids {
-		out = append(out, sensorInfo{ID: uint16(id), Queue: s.QueueDepth(id)})
+	stats := s.SensorStats()
+	out := make([]sensorInfo, 0, len(stats))
+	for _, st := range stats {
+		out = append(out, sensorInfo{ID: uint16(st.ID), Queue: st.Queue, Drops: st.Drops})
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"sensors": out})
 }
@@ -224,5 +225,11 @@ func (s *Service) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		{"innetd_sensors", uint64(st.Sensors)},
 	} {
 		fmt.Fprintf(w, "%s %d\n", m.name, m.value)
+	}
+	// Per-sensor queue state: depth now, drops since attach. The drop
+	// total above says whether shedding happened; these say where.
+	for _, sn := range s.SensorStats() {
+		fmt.Fprintf(w, "innetd_sensor_queue_depth{sensor=%q} %d\n", strconv.Itoa(int(sn.ID)), sn.Queue)
+		fmt.Fprintf(w, "innetd_sensor_queue_drops_total{sensor=%q} %d\n", strconv.Itoa(int(sn.ID)), sn.Drops)
 	}
 }

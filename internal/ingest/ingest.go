@@ -81,13 +81,26 @@ var (
 )
 
 // Reading is one observation as it arrives from the outside world.
+//
+// Seq/HasSeq optionally pin the reading's point identity instead of
+// letting the sensor's detector assign the next sequence number. The
+// cluster coordinator stamps every reading before fanning it out so
+// replica shards mint identical PointIDs for the same datum (see
+// core.Observation); direct HTTP/UDP ingestion leaves them zero.
 type Reading struct {
 	Sensor core.NodeID
 	At     time.Duration // data-time timestamp (offset from stream epoch)
 	Values []float64     // feature vector, e.g. temperature [, x, y]
+
+	Seq    uint32
+	HasSeq bool
 }
 
-func (r Reading) validate() error {
+// Validate checks the reading's shape (ID, timestamp, feature vector)
+// without consulting any service state. The cluster coordinator applies
+// the same gate before routing, so a reading rejected here is rejected
+// identically by every front door.
+func (r Reading) Validate() error {
 	switch {
 	case r.Sensor == 0:
 		return fmt.Errorf("%w: sensor id 0 is reserved", ErrBadReading)
@@ -171,7 +184,8 @@ type sensor struct {
 	peer  *peer.Peer
 	queue chan core.Observation
 
-	latest   atomic.Int64 // newest ingested timestamp, nanoseconds
+	latest   atomic.Int64  // newest ingested timestamp, nanoseconds
+	drops    atomic.Uint64 // readings this sensor shed (latest-wins + leave drain)
 	stop     chan struct{}
 	feedDone chan struct{}
 	runDone  chan struct{}
@@ -325,6 +339,7 @@ drain: // shed whatever the feeder left behind
 		case <-sn.queue:
 			s.pending.Add(-1)
 			s.dropped.Add(1)
+			sn.drops.Add(1)
 		default:
 			break drain
 		}
@@ -348,7 +363,7 @@ drain: // shed whatever the feeder left behind
 // auto-joining unknown sensors when configured. It never blocks on a
 // slow detector: a full queue sheds its oldest reading instead.
 func (s *Service) Ingest(r Reading) error {
-	if err := r.validate(); err != nil {
+	if err := r.Validate(); err != nil {
 		s.malformed.Add(1)
 		return err
 	}
@@ -392,7 +407,7 @@ func (s *Service) enqueue(sn *sensor, r Reading) error {
 			break
 		}
 	}
-	obs := core.Observation{Birth: r.At, Value: r.Values}
+	obs := core.Observation{Birth: r.At, Value: r.Values, Seq: r.Seq, Assigned: r.HasSeq}
 	for {
 		select {
 		case sn.queue <- obs:
@@ -405,6 +420,7 @@ func (s *Service) enqueue(sn *sensor, r Reading) error {
 		case <-sn.queue: // full: shed the oldest queued reading
 			s.pending.Add(-1)
 			s.dropped.Add(1)
+			sn.drops.Add(1)
 		default:
 		}
 	}
@@ -475,6 +491,67 @@ func (s *Service) Estimate(id core.NodeID) ([]core.Point, error) {
 		return nil, fmt.Errorf("ingest: sensor %d not joined", id)
 	}
 	return sn.peer.Estimate(), nil
+}
+
+// Snapshot returns the union of every attached sensor's sliding window,
+// deduplicated by point ID and sorted. After Flush it is exactly the data
+// the fleet's estimates are computed over; the cluster shard server
+// serves it to the coordinator, whose merge over shard snapshots then
+// equals the centralized answer over the union of all windows.
+func (s *Service) Snapshot(ctx context.Context) ([]core.Point, error) {
+	s.mu.RLock()
+	fleet := make([]*sensor, 0, len(s.sensors))
+	for _, sn := range s.sensors {
+		fleet = append(fleet, sn)
+	}
+	s.mu.RUnlock()
+	union := core.NewSet()
+	for _, sn := range fleet {
+		held, err := sn.peer.Holdings(ctx)
+		if err != nil {
+			return nil, err
+		}
+		held.ForEach(func(p core.Point) { union.AddMinHop(p) })
+	}
+	return union.Points(), nil
+}
+
+// HoldingsOf returns one attached sensor's sliding window (its own
+// points plus everything it has received), sorted. Unlike Snapshot it
+// costs one event-loop round trip instead of one per sensor, which is
+// what the cluster handoff path wants when moving a single sensor.
+func (s *Service) HoldingsOf(ctx context.Context, id core.NodeID) ([]core.Point, error) {
+	s.mu.RLock()
+	sn, ok := s.sensors[id]
+	s.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("ingest: sensor %d not joined", id)
+	}
+	held, err := sn.peer.Holdings(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return held.Points(), nil
+}
+
+// SensorStat is one attached sensor's queue state.
+type SensorStat struct {
+	ID    core.NodeID
+	Queue int    // readings currently queued
+	Drops uint64 // readings shed by the latest-wins policy
+}
+
+// SensorStats snapshots per-sensor queue depth and drop counters, sorted
+// by sensor ID. The HTTP API surfaces these on /v1/sensors and /metrics.
+func (s *Service) SensorStats() []SensorStat {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]SensorStat, 0, len(s.sensors))
+	for id, sn := range s.sensors {
+		out = append(out, SensorStat{ID: id, Queue: len(sn.queue), Drops: sn.drops.Load()})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
 }
 
 // Sensors returns the attached sensor IDs, sorted.

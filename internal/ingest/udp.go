@@ -63,7 +63,7 @@ func (s *Service) ingestLines(payload []byte) {
 		if len(line) == 0 {
 			continue
 		}
-		r, err := parseLine(line)
+		r, err := ParseLine(line)
 		if err != nil {
 			s.malformed.Add(1)
 			continue
@@ -72,8 +72,10 @@ func (s *Service) ingestLines(payload []byte) {
 	}
 }
 
-// parseLine decodes "<sensor> <at_ms> <v1> [v2 ...]".
-func parseLine(line []byte) (Reading, error) {
+// ParseLine decodes one line-protocol reading,
+// "<sensor> <at_ms> <v1> [v2 ...]". It is exported so other front doors
+// (the cluster coordinator's UDP listener) accept the same wire format.
+func ParseLine(line []byte) (Reading, error) {
 	fields := bytes.Fields(line)
 	if len(fields) < 3 {
 		return Reading{}, fmt.Errorf("%w: want at least 3 fields, got %d", ErrBadReading, len(fields))

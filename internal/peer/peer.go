@@ -228,6 +228,19 @@ func (p *Peer) RemoveNeighbor(ctx context.Context, j core.NodeID) error {
 	return p.do(ctx, func(d *core.Detector) *core.Outbound { return d.RemoveNeighbor(j) })
 }
 
+// Holdings snapshots the peer's full sliding window P_i (own and
+// received points) via the event loop, so the copy is consistent. The
+// cluster shard server serves window snapshots from this for the
+// coordinator's estimate merge and for sensor handoff.
+func (p *Peer) Holdings(ctx context.Context) (*core.Set, error) {
+	var held *core.Set
+	err := p.do(ctx, func(d *core.Detector) *core.Outbound {
+		held = d.Holdings()
+		return nil
+	})
+	return held, err
+}
+
 // Estimate returns the latest published outlier estimate. It is safe to
 // call from any goroutine.
 func (p *Peer) Estimate() []core.Point {

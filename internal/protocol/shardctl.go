@@ -1,0 +1,361 @@
+package protocol
+
+// Shard-control wire format: the coordinator⇄shard companion to the
+// detector's tagged-broadcast packets (core.EncodeOutbound). Where the
+// detector wire carries the paper's algorithm between sensors, these
+// frames carry the cluster-control plane between the coordinator process
+// and its detector shard processes, over the same UDP substrate the live
+// peers use (peer.UDPTransport datagrams).
+//
+//	frame := magic:'C' ver:0x01 kind:uint8 flags:uint8 reqID:uint32 body
+//
+// Multi-byte integers are big-endian, matching the detector wire. Every
+// request carries a caller-chosen reqID; the response echoes it with
+// FlagResponse set, which is all the correlation a UDP request/response
+// exchange needs. Bodies reuse core.EncodePoints wherever points travel,
+// so the point codec — including its fuzz harness — is shared.
+//
+// Kinds:
+//
+//	ASSIGN    coordinator → shard   shard-map epoch: version, the shard's
+//	                                slot, the sensors it owns, and the
+//	                                sensors moved away from it (detach)
+//	HANDOFF   coordinator → shard   without FlagTransfer: "return sensor
+//	                                s's window points" (rejoin resync);
+//	                                with FlagTransfer: "here are sensor
+//	                                s's points, adopt them"
+//	ESTIMATE  coordinator → shard   window-snapshot query; the response
+//	                                may span several fragments, each its
+//	                                own frame echoing the reqID
+//	HEALTH    coordinator → shard   liveness probe; response reports the
+//	                                shard's map version and fleet size
+//	READINGS  coordinator → shard   routed ingest batch with
+//	                                coordinator-assigned point identities
+//	ACK       shard → coordinator   count acknowledgment for READINGS and
+//	                                HANDOFF transfers
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"innet/internal/core"
+)
+
+// FrameKind discriminates shard-control frames.
+type FrameKind uint8
+
+// Shard-control frame kinds.
+const (
+	FrameAssign   FrameKind = 1
+	FrameHandoff  FrameKind = 2
+	FrameEstimate FrameKind = 3
+	FrameHealth   FrameKind = 4
+	FrameReadings FrameKind = 5
+	FrameAck      FrameKind = 6
+)
+
+// String implements fmt.Stringer.
+func (k FrameKind) String() string {
+	switch k {
+	case FrameAssign:
+		return "ASSIGN"
+	case FrameHandoff:
+		return "HANDOFF"
+	case FrameEstimate:
+		return "ESTIMATE"
+	case FrameHealth:
+		return "HEALTH"
+	case FrameReadings:
+		return "READINGS"
+	case FrameAck:
+		return "ACK"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Frame flags.
+const (
+	// FlagResponse marks a frame answering the request with the same reqID.
+	FlagResponse = 1 << 0
+	// FlagTransfer turns a HANDOFF from a window request into a window
+	// delivery.
+	FlagTransfer = 1 << 1
+)
+
+const (
+	frameMagic   = 'C'
+	frameVersion = 0x01
+	frameHeader  = 2 + 1 + 1 + 4
+)
+
+// ErrNotControlFrame reports a datagram that is not a shard-control frame
+// at all (wrong magic/version), as opposed to a malformed one.
+var ErrNotControlFrame = errors.New("protocol: not a shard-control frame")
+
+// Frame is one decoded shard-control frame.
+type Frame struct {
+	Kind  FrameKind
+	Flags uint8
+	ReqID uint32
+	Body  []byte
+}
+
+// Response reports whether FlagResponse is set.
+func (f Frame) Response() bool { return f.Flags&FlagResponse != 0 }
+
+// EncodeFrame serializes a shard-control frame.
+func EncodeFrame(f Frame) []byte {
+	buf := make([]byte, 0, frameHeader+len(f.Body))
+	buf = append(buf, frameMagic, frameVersion, uint8(f.Kind), f.Flags)
+	buf = binary.BigEndian.AppendUint32(buf, f.ReqID)
+	return append(buf, f.Body...)
+}
+
+// DecodeFrame parses a datagram produced by EncodeFrame. The body is a
+// sub-slice of buf, not a copy.
+func DecodeFrame(buf []byte) (Frame, error) {
+	if len(buf) < frameHeader {
+		return Frame{}, fmt.Errorf("%w: %d bytes", ErrNotControlFrame, len(buf))
+	}
+	if buf[0] != frameMagic || buf[1] != frameVersion {
+		return Frame{}, ErrNotControlFrame
+	}
+	f := Frame{
+		Kind:  FrameKind(buf[2]),
+		Flags: buf[3],
+		ReqID: binary.BigEndian.Uint32(buf[4:]),
+		Body:  buf[frameHeader:],
+	}
+	if f.Kind < FrameAssign || f.Kind > FrameAck {
+		return Frame{}, fmt.Errorf("protocol: unknown shard-control kind %d", buf[2])
+	}
+	return f, nil
+}
+
+// AssignBody is the ASSIGN request payload: one epoch of the coordinator's
+// shard map as it concerns the receiving shard — the sensors it owns,
+// and the sensors the coordinator explicitly moved away from it (Evict).
+// Eviction is an explicit list rather than "anything not in Sensors" so
+// that a sensor auto-joining concurrently with an in-flight ASSIGN is
+// never detached by a stale snapshot. The response body is AckBody
+// carrying the map version the shard now follows.
+type AssignBody struct {
+	MapVersion uint64
+	ShardIndex uint16 // the receiver's slot in the sorted shard list
+	ShardCount uint16
+	Sensors    []core.NodeID // sensors the receiver owns (primary or replica)
+	Evict      []core.NodeID // sensors the receiver must detach
+}
+
+func appendIDs(buf []byte, ids []core.NodeID) []byte {
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(ids)))
+	for _, id := range ids {
+		buf = binary.BigEndian.AppendUint16(buf, uint16(id))
+	}
+	return buf
+}
+
+func parseIDs(buf []byte) ([]core.NodeID, []byte, error) {
+	if len(buf) < 2 {
+		return nil, nil, core.ErrTruncated
+	}
+	count := int(binary.BigEndian.Uint16(buf))
+	buf = buf[2:]
+	if len(buf) < 2*count {
+		return nil, nil, core.ErrTruncated
+	}
+	ids := make([]core.NodeID, count)
+	for i := range ids {
+		ids[i] = core.NodeID(binary.BigEndian.Uint16(buf[2*i:]))
+	}
+	return ids, buf[2*count:], nil
+}
+
+// Encode serializes the ASSIGN body.
+func (b AssignBody) Encode() ([]byte, error) {
+	if len(b.Sensors) > 65535 || len(b.Evict) > 65535 {
+		return nil, fmt.Errorf("protocol: %d+%d sensors exceed the ASSIGN format", len(b.Sensors), len(b.Evict))
+	}
+	buf := make([]byte, 0, 8+2+2+2+2*len(b.Sensors)+2+2*len(b.Evict))
+	buf = binary.BigEndian.AppendUint64(buf, b.MapVersion)
+	buf = binary.BigEndian.AppendUint16(buf, b.ShardIndex)
+	buf = binary.BigEndian.AppendUint16(buf, b.ShardCount)
+	buf = appendIDs(buf, b.Sensors)
+	buf = appendIDs(buf, b.Evict)
+	return buf, nil
+}
+
+// DecodeAssign parses an ASSIGN body.
+func DecodeAssign(buf []byte) (AssignBody, error) {
+	if len(buf) < 8+2+2 {
+		return AssignBody{}, core.ErrTruncated
+	}
+	b := AssignBody{
+		MapVersion: binary.BigEndian.Uint64(buf),
+		ShardIndex: binary.BigEndian.Uint16(buf[8:]),
+		ShardCount: binary.BigEndian.Uint16(buf[10:]),
+	}
+	var err error
+	buf = buf[12:]
+	if b.Sensors, buf, err = parseIDs(buf); err != nil {
+		return AssignBody{}, fmt.Errorf("protocol: ASSIGN sensors: %w", err)
+	}
+	if b.Evict, buf, err = parseIDs(buf); err != nil {
+		return AssignBody{}, fmt.Errorf("protocol: ASSIGN evictions: %w", err)
+	}
+	if len(buf) != 0 {
+		return AssignBody{}, fmt.Errorf("protocol: %d trailing bytes after ASSIGN", len(buf))
+	}
+	return b, nil
+}
+
+// HandoffBody is the HANDOFF payload: the sensor changing hands and — on
+// FlagTransfer frames and on responses to window requests — its window
+// points, identities preserved. Like ESTIMATE, a window response may
+// span several fragments (a dense sensor's window does not fit one
+// datagram); FragCount rides on every fragment so the requester can
+// size reassembly from whichever arrives first. Requests and transfers
+// use Frag 0/1.
+type HandoffBody struct {
+	Sensor    core.NodeID
+	Frag      uint16
+	FragCount uint16
+	Points    []core.Point
+}
+
+// Encode serializes the HANDOFF body.
+func (b HandoffBody) Encode() ([]byte, error) {
+	pts, err := core.EncodePoints(b.Points)
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, 0, 6+len(pts))
+	buf = binary.BigEndian.AppendUint16(buf, uint16(b.Sensor))
+	buf = binary.BigEndian.AppendUint16(buf, b.Frag)
+	buf = binary.BigEndian.AppendUint16(buf, b.FragCount)
+	return append(buf, pts...), nil
+}
+
+// DecodeHandoff parses a HANDOFF body.
+func DecodeHandoff(buf []byte) (HandoffBody, error) {
+	if len(buf) < 6 {
+		return HandoffBody{}, core.ErrTruncated
+	}
+	b := HandoffBody{
+		Sensor:    core.NodeID(binary.BigEndian.Uint16(buf)),
+		Frag:      binary.BigEndian.Uint16(buf[2:]),
+		FragCount: binary.BigEndian.Uint16(buf[4:]),
+	}
+	pts, err := core.DecodePoints(buf[6:])
+	if err != nil {
+		return HandoffBody{}, err
+	}
+	b.Points = pts
+	return b, nil
+}
+
+// EstimateBody is the ESTIMATE response payload: one fragment of the
+// shard's window snapshot. FragCount is repeated on every fragment so the
+// querier can size its reassembly from whichever fragment arrives first;
+// the request body is empty.
+type EstimateBody struct {
+	Frag      uint16
+	FragCount uint16
+	Points    []core.Point
+}
+
+// Encode serializes the ESTIMATE body.
+func (b EstimateBody) Encode() ([]byte, error) {
+	pts, err := core.EncodePoints(b.Points)
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, 0, 4+len(pts))
+	buf = binary.BigEndian.AppendUint16(buf, b.Frag)
+	buf = binary.BigEndian.AppendUint16(buf, b.FragCount)
+	return append(buf, pts...), nil
+}
+
+// DecodeEstimate parses an ESTIMATE body.
+func DecodeEstimate(buf []byte) (EstimateBody, error) {
+	if len(buf) < 4 {
+		return EstimateBody{}, core.ErrTruncated
+	}
+	b := EstimateBody{
+		Frag:      binary.BigEndian.Uint16(buf),
+		FragCount: binary.BigEndian.Uint16(buf[2:]),
+	}
+	pts, err := core.DecodePoints(buf[4:])
+	if err != nil {
+		return EstimateBody{}, err
+	}
+	b.Points = pts
+	return b, nil
+}
+
+// HealthBody is the HEALTH response payload (the request body is empty).
+type HealthBody struct {
+	MapVersion uint64 // shard-map epoch the shard last adopted
+	Sensors    uint16 // sensors currently attached
+}
+
+// Encode serializes the HEALTH body.
+func (b HealthBody) Encode() []byte {
+	buf := make([]byte, 0, 10)
+	buf = binary.BigEndian.AppendUint64(buf, b.MapVersion)
+	return binary.BigEndian.AppendUint16(buf, b.Sensors)
+}
+
+// DecodeHealth parses a HEALTH body.
+func DecodeHealth(buf []byte) (HealthBody, error) {
+	if len(buf) != 10 {
+		return HealthBody{}, core.ErrTruncated
+	}
+	return HealthBody{
+		MapVersion: binary.BigEndian.Uint64(buf),
+		Sensors:    binary.BigEndian.Uint16(buf[8:]),
+	}, nil
+}
+
+// ReadingsBody is the READINGS payload: a routed ingest batch. Each point
+// carries the coordinator-assigned identity (origin sensor, sequence
+// number), its data-time birth, and the feature vector; the hop field is
+// unused and must be zero.
+type ReadingsBody struct {
+	Points []core.Point
+}
+
+// Encode serializes the READINGS body.
+func (b ReadingsBody) Encode() ([]byte, error) {
+	return core.EncodePoints(b.Points)
+}
+
+// DecodeReadings parses a READINGS body.
+func DecodeReadings(buf []byte) (ReadingsBody, error) {
+	pts, err := core.DecodePoints(buf)
+	if err != nil {
+		return ReadingsBody{}, err
+	}
+	return ReadingsBody{Points: pts}, nil
+}
+
+// AckBody is the generic count acknowledgment: readings accepted, points
+// adopted, or the map version adopted by an ASSIGN.
+type AckBody struct {
+	Count uint64
+}
+
+// Encode serializes the ACK body.
+func (b AckBody) Encode() []byte {
+	return binary.BigEndian.AppendUint64(make([]byte, 0, 8), b.Count)
+}
+
+// DecodeAck parses an ACK body.
+func DecodeAck(buf []byte) (AckBody, error) {
+	if len(buf) != 8 {
+		return AckBody{}, core.ErrTruncated
+	}
+	return AckBody{Count: binary.BigEndian.Uint64(buf)}, nil
+}

@@ -1,0 +1,183 @@
+package protocol
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"innet/internal/core"
+)
+
+func ctlPoints() []core.Point {
+	return []core.Point{
+		core.NewPoint(3, 17, 42*time.Second, 55.3, 1, 2),
+		core.NewPoint(9, 0, 0, -40),
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	body, err := HandoffBody{Sensor: 7, Points: ctlPoints()}.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := Frame{Kind: FrameHandoff, Flags: FlagResponse | FlagTransfer, ReqID: 0xdeadbeef, Body: body}
+	out, err := DecodeFrame(EncodeFrame(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Kind != in.Kind || out.Flags != in.Flags || out.ReqID != in.ReqID {
+		t.Fatalf("header mismatch: got %+v, want %+v", out, in)
+	}
+	if !out.Response() {
+		t.Fatal("Response() false on a response frame")
+	}
+	if !bytes.Equal(out.Body, in.Body) {
+		t.Fatal("body mismatch")
+	}
+}
+
+func TestFrameRejectsForeignDatagrams(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{frameMagic},
+		[]byte("GET / HTTP/1.1\r\n"),
+		append([]byte{frameMagic, 0x7f, 1, 0}, make([]byte, 4)...), // wrong version
+	}
+	for i, buf := range cases {
+		if _, err := DecodeFrame(buf); !errors.Is(err, ErrNotControlFrame) {
+			t.Fatalf("case %d: got %v, want ErrNotControlFrame", i, err)
+		}
+	}
+	// Right magic, nonsense kind: malformed, not foreign.
+	bad := EncodeFrame(Frame{Kind: FrameKind(99)})
+	if _, err := DecodeFrame(bad); err == nil || errors.Is(err, ErrNotControlFrame) {
+		t.Fatalf("unknown kind: got %v, want a malformed-frame error", err)
+	}
+}
+
+func TestAssignRoundTrip(t *testing.T) {
+	in := AssignBody{MapVersion: 12, ShardIndex: 1, ShardCount: 3,
+		Sensors: []core.NodeID{2, 5, 8, 11},
+		Evict:   []core.NodeID{3, 9}}
+	buf, err := in.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := DecodeAssign(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.MapVersion != in.MapVersion || out.ShardIndex != in.ShardIndex ||
+		out.ShardCount != in.ShardCount || len(out.Sensors) != len(in.Sensors) ||
+		len(out.Evict) != len(in.Evict) {
+		t.Fatalf("got %+v, want %+v", out, in)
+	}
+	for i := range in.Sensors {
+		if out.Sensors[i] != in.Sensors[i] {
+			t.Fatalf("sensor %d: got %d, want %d", i, out.Sensors[i], in.Sensors[i])
+		}
+	}
+	for i := range in.Evict {
+		if out.Evict[i] != in.Evict[i] {
+			t.Fatalf("evict %d: got %d, want %d", i, out.Evict[i], in.Evict[i])
+		}
+	}
+	if _, err := DecodeAssign(buf[:len(buf)-1]); err == nil {
+		t.Fatal("truncated ASSIGN decoded")
+	}
+	if _, err := DecodeAssign(append(buf, 0)); err == nil {
+		t.Fatal("ASSIGN with trailing bytes decoded")
+	}
+}
+
+func TestHandoffEstimateReadingsRoundTrip(t *testing.T) {
+	pts := ctlPoints()
+
+	hb, err := HandoffBody{Sensor: 3, Frag: 2, FragCount: 5, Points: pts}.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := DecodeHandoff(hb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Sensor != 3 || h.Frag != 2 || h.FragCount != 5 ||
+		len(h.Points) != 2 || h.Points[0].ID != pts[0].ID {
+		t.Fatalf("handoff mismatch: %+v", h)
+	}
+
+	eb, err := EstimateBody{Frag: 1, FragCount: 4, Points: pts}.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := DecodeEstimate(eb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Frag != 1 || e.FragCount != 4 || len(e.Points) != 2 {
+		t.Fatalf("estimate mismatch: %+v", e)
+	}
+	if e.Points[1].Value[0] != -40 {
+		t.Fatalf("estimate point values lost: %+v", e.Points[1])
+	}
+
+	rb, err := ReadingsBody{Points: pts}.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd, err := DecodeReadings(rb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rd.Points) != 2 || rd.Points[0].Birth != 42*time.Second {
+		t.Fatalf("readings mismatch: %+v", rd)
+	}
+	if _, err := DecodeReadings(rb[:3]); err == nil {
+		t.Fatal("truncated READINGS decoded")
+	}
+}
+
+func TestHealthAckRoundTrip(t *testing.T) {
+	h, err := DecodeHealth(HealthBody{MapVersion: 9, Sensors: 1024}.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.MapVersion != 9 || h.Sensors != 1024 {
+		t.Fatalf("health mismatch: %+v", h)
+	}
+	a, err := DecodeAck(AckBody{Count: 1 << 40}.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Count != 1<<40 {
+		t.Fatalf("ack mismatch: %+v", a)
+	}
+	if _, err := DecodeHealth([]byte{1, 2}); err == nil {
+		t.Fatal("truncated HEALTH decoded")
+	}
+	if _, err := DecodeAck([]byte{1}); err == nil {
+		t.Fatal("truncated ACK decoded")
+	}
+}
+
+// TestFrameDecodeNeverPanics feeds the decoder random mutations of a
+// valid frame — the control listener shares a socket with whatever the
+// network throws at it.
+func TestFrameDecodeNeverPanics(t *testing.T) {
+	body, _ := AssignBody{MapVersion: 1, Sensors: []core.NodeID{1, 2, 3}}.Encode()
+	valid := EncodeFrame(Frame{Kind: FrameAssign, ReqID: 1, Body: body})
+	for cut := 0; cut <= len(valid); cut++ {
+		f, err := DecodeFrame(valid[:cut])
+		if err != nil {
+			continue
+		}
+		// Header decoded: body decoding must also stay panic-free.
+		_, _ = DecodeAssign(f.Body)
+		_, _ = DecodeHandoff(f.Body)
+		_, _ = DecodeEstimate(f.Body)
+		_, _ = DecodeReadings(f.Body)
+		_, _ = DecodeHealth(f.Body)
+		_, _ = DecodeAck(f.Body)
+	}
+}

@@ -1,0 +1,138 @@
+#!/usr/bin/env bash
+# Multi-process cluster end-to-end smoke test: build innetd and
+# innet-coord, start 1 coordinator + 3 detector shards (plus a
+# single-process reference innetd), ingest the same burst into both the
+# cluster and the reference over HTTP and the UDP line protocol, and
+# assert the coordinator's merged outlier set equals the single-process
+# answer. Then kill one shard and assert the merged answer survives
+# (replicas=2) while the view reports itself degraded.
+#
+# Needs: go, curl, bash (uses /dev/udp). CI runs this; it is also
+# runnable locally: scripts/cluster_smoke.sh
+set -euo pipefail
+
+HOST=127.0.0.1
+SINGLE_HTTP=$HOST:18090
+SHARD_HTTP=("$HOST:18091" "$HOST:18092" "$HOST:18093")
+SHARD_CTL=("$HOST:19101" "$HOST:19102" "$HOST:19103")
+COORD_HTTP=$HOST:18094
+COORD_UDP_PORT=19971
+BINDIR=$(mktemp -d)
+PIDS=()
+
+cleanup() {
+  for pid in "${PIDS[@]:-}"; do
+    kill "$pid" 2>/dev/null || true
+  done
+}
+trap cleanup EXIT
+
+DETFLAGS=(-ranker nn -n 1 -window 10m)
+
+echo "== build"
+go build -o "$BINDIR/innetd" ./cmd/innetd
+go build -o "$BINDIR/innet-coord" ./cmd/innet-coord
+
+echo "== start the single-process reference"
+"$BINDIR/innetd" -http "$SINGLE_HTTP" "${DETFLAGS[@]}" &
+PIDS+=($!)
+
+echo "== start 3 detector shards"
+for i in 0 1 2; do
+  "$BINDIR/innetd" -http "${SHARD_HTTP[$i]}" -shard "${SHARD_CTL[$i]}" "${DETFLAGS[@]}" &
+  PIDS+=($!)
+done
+
+echo "== start the coordinator (replicas=2)"
+"$BINDIR/innet-coord" -http "$COORD_HTTP" -udp "$HOST:$COORD_UDP_PORT" \
+  -shards "$(IFS=,; echo "${SHARD_CTL[*]}")" -replicas 2 \
+  -health-interval 100ms "${DETFLAGS[@]}" &
+COORD_PID=$!
+PIDS+=("$COORD_PID")
+
+wait_ok() {
+  for _ in $(seq 1 100); do
+    curl -fsS "http://$1/healthz" >/dev/null 2>&1 && return 0
+    sleep 0.1
+  done
+  echo "no health from $1" >&2
+  return 1
+}
+
+echo "== wait for health"
+wait_ok "$SINGLE_HTTP"
+for addr in "${SHARD_HTTP[@]}"; do wait_ok "$addr"; done
+wait_ok "$COORD_HTTP"
+
+BATCH='{"readings":[
+  {"sensor":1,"at_ms":60000,"values":[20.1]},
+  {"sensor":2,"at_ms":60000,"values":[20.2]},
+  {"sensor":3,"at_ms":60000,"values":[20.3]},
+  {"sensor":4,"at_ms":60000,"values":[20.4]},
+  {"sensor":5,"at_ms":60000,"values":[20.5]},
+  {"sensor":6,"at_ms":60000,"values":[20.6]}
+]}'
+
+echo "== POST the same batch to the cluster and the reference"
+curl -fsS -X POST "http://$COORD_HTTP/v1/observations" -d "$BATCH"; echo
+curl -fsS -X POST "http://$SINGLE_HTTP/v1/observations" -d "$BATCH"; echo
+
+echo "== UDP-fire the same burst at both (sensor 9 has a stuck-at-rail fault)"
+for LINE in "3 61000 20.35" "9 62000 55.3"; do
+  echo "$LINE" > "/dev/udp/$HOST/$COORD_UDP_PORT"
+  # The reference has no UDP listener configured; use its HTTP door.
+  SENSOR=${LINE%% *}; REST=${LINE#* }; AT=${REST%% *}; VAL=${REST#* }
+  curl -fsS -X POST "http://$SINGLE_HTTP/v1/observations" \
+    -d "{\"readings\":[{\"sensor\":$SENSOR,\"at_ms\":$AT,\"values\":[$VAL]}]}" >/dev/null
+done
+
+outliers() { # extract the outlier array from a query response
+  grep -o '"outliers":\[[^]]*\]' <<<"$1"
+}
+
+echo "== poll until the merged answer is complete and matches the reference"
+MATCH=
+for _ in $(seq 1 150); do
+  MERGED=$(curl -fsS "http://$COORD_HTTP/v1/outliers")
+  SINGLE=$(curl -fsS "http://$SINGLE_HTTP/v1/outliers?sensor=1")
+  if grep -q '"degraded":false' <<<"$MERGED" && grep -q '"shards_ok":3' <<<"$MERGED" \
+     && grep -q '"sensor":9' <<<"$MERGED" \
+     && [[ "$(outliers "$MERGED")" == "$(outliers "$SINGLE")" ]]; then
+    MATCH=1
+    echo "merged == single-process: $(outliers "$MERGED")"
+    break
+  fi
+  sleep 0.1
+done
+[[ -n "$MATCH" ]] || {
+  echo "merged answer never matched:" >&2
+  echo "  merged: ${MERGED:-}" >&2
+  echo "  single: ${SINGLE:-}" >&2
+  exit 1
+}
+
+echo "== shard states"
+curl -fsS "http://$COORD_HTTP/v1/shards"; echo
+
+echo "== kill shard 2 and expect a degraded but still-correct merge"
+kill "${PIDS[2]}" 2>/dev/null || true
+DEGRADED=
+for _ in $(seq 1 150); do
+  MERGED=$(curl -fsS "http://$COORD_HTTP/v1/outliers")
+  if grep -q '"degraded":true' <<<"$MERGED" \
+     && [[ "$(outliers "$MERGED")" == "$(outliers "$SINGLE")" ]]; then
+    DEGRADED=1
+    echo "degraded merge still exact: $(outliers "$MERGED")"
+    break
+  fi
+  sleep 0.1
+done
+[[ -n "$DEGRADED" ]] || { echo "degraded merge never matched: ${MERGED:-}" >&2; exit 1; }
+
+echo "== coordinator metrics"
+curl -fsS "http://$COORD_HTTP/metrics"
+
+echo "== clean shutdown"
+kill -INT "$COORD_PID"
+wait "$COORD_PID"
+echo "cluster smoke: OK"

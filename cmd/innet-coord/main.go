@@ -10,7 +10,8 @@
 // Usage:
 //
 //	innet-coord -shards addr1,addr2,... [-http addr] [-udp addr]
-//	            [-replicas n] [-query-timeout d] [-health-interval d]
+//	            [-replicas n] [-merge compact|full] [-merge-rounds n]
+//	            [-query-timeout d] [-health-interval d]
 //	            [-ranker nn|knn|kthnn|db] [-k n] [-eps α] [-n outliers]
 //	            [-window d] [-v]
 //
@@ -55,6 +56,8 @@ type options struct {
 	udpAddr        string
 	shards         string
 	replicas       int
+	merge          string
+	mergeRounds    int
 	queryTimeout   time.Duration
 	healthInterval time.Duration
 	ranker         string
@@ -72,6 +75,8 @@ func parseFlags(args []string) (options, error) {
 	fs.StringVar(&o.udpAddr, "udp", "", "UDP line-protocol listen address (empty disables)")
 	fs.StringVar(&o.shards, "shards", "", "comma-separated shard control addresses (required)")
 	fs.IntVar(&o.replicas, "replicas", 1, "shards each sensor's readings are replicated to (boundary-sensor replication)")
+	fs.StringVar(&o.merge, "merge", cluster.MergeCompact, "estimate merge mode: compact (iterative Algorithm 1, O(estimate+support) payload per round) or full (window snapshots)")
+	fs.IntVar(&o.mergeRounds, "merge-rounds", 16, "compact-merge round budget before falling back to the full path")
 	fs.DurationVar(&o.queryTimeout, "query-timeout", 2*time.Second, "estimate fan-out deadline")
 	fs.DurationVar(&o.healthInterval, "health-interval", 500*time.Millisecond, "shard health probe period")
 	fs.StringVar(&o.ranker, "ranker", "knn", "ranking function: nn, knn, kthnn or db (must match the shards)")
@@ -142,6 +147,12 @@ func newDaemon(o options, logf func(string, ...any)) (*daemon, error) {
 	if err != nil {
 		return nil, err
 	}
+	switch o.merge {
+	case cluster.MergeCompact, cluster.MergeFull:
+	default:
+		return nil, fmt.Errorf("unknown -merge mode %q (want %q or %q)",
+			o.merge, cluster.MergeCompact, cluster.MergeFull)
+	}
 	cfg := cluster.Config{
 		Detector: core.Config{
 			Ranker: ranker,
@@ -150,6 +161,8 @@ func newDaemon(o options, logf func(string, ...any)) (*daemon, error) {
 		},
 		Shards:         shards,
 		Replicas:       o.replicas,
+		MergeMode:      o.merge,
+		MergeRounds:    o.mergeRounds,
 		QueryTimeout:   o.queryTimeout,
 		HealthInterval: o.healthInterval,
 	}

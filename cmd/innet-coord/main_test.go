@@ -140,15 +140,31 @@ func TestCoordinatorEndToEnd(t *testing.T) {
 				Sensor uint16    `json:"sensor"`
 				Values []float64 `json:"values"`
 			} `json:"outliers"`
-			Degraded bool `json:"degraded"`
-			ShardsOK int  `json:"shards_ok"`
+			Degraded  bool   `json:"degraded"`
+			ShardsOK  int    `json:"shards_ok"`
+			MergeMode string `json:"merge_mode"`
 		}
 		getJSON(t, base+"/v1/outliers", &est)
 		if !est.Degraded && est.ShardsOK == 3 &&
 			len(est.Outliers) == 1 && est.Outliers[0].Sensor == 7 && est.Outliers[0].Values[0] == 55.3 {
+			if est.MergeMode != cluster.MergeCompact {
+				t.Fatalf("default merge served by %q, want compact", est.MergeMode)
+			}
 			break
 		}
 		time.Sleep(20 * time.Millisecond)
+	}
+
+	// Per-query override: the full path must agree on the answer.
+	var full struct {
+		Outliers []struct {
+			Sensor uint16 `json:"sensor"`
+		} `json:"outliers"`
+		MergeMode string `json:"merge_mode"`
+	}
+	getJSON(t, base+"/v1/outliers?merge=full", &full)
+	if full.MergeMode != cluster.MergeFull || len(full.Outliers) != 1 || full.Outliers[0].Sensor != 7 {
+		t.Fatalf("?merge=full gave mode=%q outliers=%v", full.MergeMode, full.Outliers)
 	}
 
 	// Shard states: all three up.
@@ -174,7 +190,8 @@ func TestCoordinatorEndToEnd(t *testing.T) {
 	}
 	metrics, _ := io.ReadAll(mresp.Body)
 	mresp.Body.Close()
-	for _, want := range []string{"innetcoord_readings_routed_total", "innetcoord_shards 3", "innetcoord_shard_up"} {
+	for _, want := range []string{"innetcoord_readings_routed_total", "innetcoord_shards 3", "innetcoord_shard_up",
+		"innetcoord_merges_compact_total", "innetcoord_merge_rounds_total", "innetcoord_merge_bytes_total"} {
 		if !strings.Contains(string(metrics), want) {
 			t.Errorf("metrics missing %q:\n%s", want, metrics)
 		}

@@ -7,9 +7,9 @@
 //
 // Usage:
 //
-//	innetd [-http addr] [-udp addr] [-shard addr] [-sensors list]
-//	       [-autojoin] [-ranker nn|knn|kthnn|db] [-k n] [-eps α]
-//	       [-n outliers] [-window d] [-hop d] [-queue depth]
+//	innetd [-http addr] [-udp addr] [-shard addr] [-merge-sessions n]
+//	       [-sensors list] [-autojoin] [-ranker nn|knn|kthnn|db] [-k n]
+//	       [-eps α] [-n outliers] [-window d] [-hop d] [-queue depth]
 //	       [-batch max] [-v]
 //
 // Example:
@@ -54,21 +54,22 @@ func main() {
 // options is the parsed flag set, separated from flag.Parse so the
 // end-to-end test can drive the daemon in-process.
 type options struct {
-	httpAddr   string
-	udpAddr    string
-	shardAddr  string
-	sensors    string
-	autojoin   bool
-	ranker     string
-	k          int
-	eps        float64
-	n          int
-	window     time.Duration
-	hop        int
-	queue      int
-	batch      int
-	maxSensors int
-	verbose    bool
+	httpAddr      string
+	udpAddr       string
+	shardAddr     string
+	mergeSessions int
+	sensors       string
+	autojoin      bool
+	ranker        string
+	k             int
+	eps           float64
+	n             int
+	window        time.Duration
+	hop           int
+	queue         int
+	batch         int
+	maxSensors    int
+	verbose       bool
 }
 
 func parseFlags(args []string) (options, error) {
@@ -77,6 +78,7 @@ func parseFlags(args []string) (options, error) {
 	fs.StringVar(&o.httpAddr, "http", ":8080", "HTTP listen address (API + health + metrics)")
 	fs.StringVar(&o.udpAddr, "udp", "", "UDP line-protocol listen address (empty disables)")
 	fs.StringVar(&o.shardAddr, "shard", "", "UDP shard-control listen address for cluster mode (empty disables)")
+	fs.IntVar(&o.mergeSessions, "merge-sessions", 8, "concurrent compact-merge sessions kept by the shard control plane")
 	fs.StringVar(&o.sensors, "sensors", "", "sensors to attach at startup, e.g. \"1-9\" or \"1,2,5\"")
 	fs.BoolVar(&o.autojoin, "autojoin", true, "attach unknown sensors on first contact")
 	fs.StringVar(&o.ranker, "ranker", "knn", "ranking function: nn, knn, kthnn or db")
@@ -195,9 +197,10 @@ func newDaemon(o options, logf func(string, ...any)) (*daemon, error) {
 	}
 	if o.shardAddr != "" {
 		d.shardSrv, err = cluster.NewShardServer(cluster.ShardServerConfig{
-			Service: svc,
-			Addr:    o.shardAddr,
-			Logf:    logf,
+			Service:          svc,
+			Addr:             o.shardAddr,
+			MaxMergeSessions: o.mergeSessions,
+			Logf:             logf,
 		})
 		if err != nil {
 			if d.udpConn != nil {

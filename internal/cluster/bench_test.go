@@ -1,0 +1,99 @@
+package cluster
+
+import (
+	"context"
+	"math/rand/v2"
+	"testing"
+	"time"
+
+	"innet/internal/core"
+	"innet/internal/ingest"
+)
+
+// BenchmarkClusterMerge compares the two merge paths over a live 3-shard
+// cluster holding a sensor-like window (readings clustered around an
+// operating point, two planted faults): per-query latency via the usual
+// benchmark clock, and per-query point payload via the payload-bytes/op
+// metric — the number the compact path exists to shrink.
+func BenchmarkClusterMerge(b *testing.B) {
+	detCfg := core.Config{
+		Ranker: core.KNN{K: 2},
+		N:      3,
+		Window: time.Hour,
+	}
+	var addrs []string
+	var shards []*testShard
+	for i := 0; i < 3; i++ {
+		svc, err := ingest.New(ingest.Config{Detector: detCfg, AutoJoin: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		srv, err := NewShardServer(ShardServerConfig{Service: svc, Addr: "127.0.0.1:0"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		go srv.Serve()
+		sh := &testShard{svc: svc, srv: srv, addr: srv.Addr()}
+		defer sh.stop()
+		shards = append(shards, sh)
+		addrs = append(addrs, sh.addr)
+	}
+	coord, err := New(Config{
+		Detector:       detCfg,
+		Shards:         addrs,
+		Replicas:       2,
+		QueryTimeout:   10 * time.Second,
+		HealthInterval: 200 * time.Millisecond,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer coord.Close()
+
+	// 24 sensors × 30 rounds ≈ 720 window points, doubled across the
+	// cluster by replication.
+	rng := rand.New(rand.NewPCG(5, 0x9e3779b97f4a7c15))
+	var readings []ingest.Reading
+	for round := 0; round < 30; round++ {
+		for s := 1; s <= 24; s++ {
+			v := 20 + rng.NormFloat64()
+			if s == 7 && round == 28 {
+				v = 55.3
+			}
+			readings = append(readings, ingest.Reading{
+				Sensor: core.NodeID(s),
+				At:     time.Duration(round) * time.Minute,
+				Values: []float64{v},
+			})
+		}
+	}
+	ctx := context.Background()
+	for _, errIngest := range coord.IngestBatch(readings) {
+		if errIngest != nil {
+			b.Fatal(errIngest)
+		}
+	}
+	for _, sh := range shards {
+		if err := sh.svc.Flush(ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+
+	for _, mode := range []string{MergeCompact, MergeFull} {
+		b.Run(mode, func(b *testing.B) {
+			var payload, rounds int
+			for i := 0; i < b.N; i++ {
+				res, err := coord.MergedEstimateMode(ctx, mode)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Mode != mode {
+					b.Fatalf("served by %q, want %q", res.Mode, mode)
+				}
+				payload, rounds = res.PayloadBytes, res.Rounds
+			}
+			b.ReportMetric(float64(payload), "payload-bytes/op")
+			b.ReportMetric(float64(rounds), "rounds/op")
+		})
+	}
+}

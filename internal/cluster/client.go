@@ -183,31 +183,116 @@ func (c *ctlClient) readings(ctx context.Context, addr *net.UDPAddr, pts []core.
 	return ack.Count, nil
 }
 
-// estimate queries one shard's window snapshot, reassembling however many
-// fragments the shard split it into.
-func (c *ctlClient) estimate(ctx context.Context, addr *net.UDPAddr) ([]core.Point, error) {
-	frags := make(map[uint16][]core.Point)
-	fragCount := -1
+// errUnknownSession reports a shard refusing a merge session it no
+// longer holds (evicted under concurrent-query pressure, or the shard
+// restarted mid-exchange). The compact merge must abandon the session —
+// its ledger counts points the shard would no longer know about — and
+// fall back to the full-window path.
+var errUnknownSession = errors.New("cluster: shard no longer holds the merge session")
+
+// fragmentParse extracts one fragment of a fragmented response: ok=false
+// ignores the frame as a stray, a non-nil error aborts the exchange.
+type fragmentParse func(f protocol.Frame) (frag, total int, pts []core.Point, ok bool, err error)
+
+// collectFragments runs one request whose response spans FragCount
+// frames (ESTIMATE, HANDOFF window fetches, SUFFICIENT rounds),
+// reassembling the fragments in index order. bytes reports the summed
+// response payload, for the merge-cost metrics.
+func (c *ctlClient) collectFragments(ctx context.Context, addr *net.UDPAddr, kind protocol.FrameKind,
+	req []byte, parse fragmentParse) (pts []core.Point, bytes int, err error) {
+	frags := make(map[int][]core.Point)
+	fragBytes := make(map[int]int)
+	total := -1
 	collect := func(f protocol.Frame) (bool, error) {
-		if f.Kind != protocol.FrameEstimate {
-			return false, nil
-		}
-		body, err := protocol.DecodeEstimate(f.Body)
-		if err != nil {
+		frag, n, fpts, ok, err := parse(f)
+		if err != nil || !ok {
 			return false, err
 		}
-		frags[body.Frag] = body.Points
-		fragCount = int(body.FragCount)
-		return len(frags) == fragCount, nil
+		frags[frag] = fpts
+		fragBytes[frag] = len(f.Body)
+		total = n
+		return len(frags) == total, nil
 	}
-	if err := c.exchange(ctx, addr, protocol.FrameEstimate, 0, nil, collect); err != nil {
-		return nil, err
+	if err := c.exchange(ctx, addr, kind, 0, req, collect); err != nil {
+		return nil, 0, err
 	}
-	var pts []core.Point
-	for i := 0; i < fragCount; i++ {
-		pts = append(pts, frags[uint16(i)]...)
+	for i := 0; i < total; i++ {
+		pts = append(pts, frags[i]...)
+		bytes += fragBytes[i]
 	}
-	return pts, nil
+	return pts, bytes, nil
+}
+
+// estimate queries one shard's window snapshot, reassembling however many
+// fragments the shard split it into.
+func (c *ctlClient) estimate(ctx context.Context, addr *net.UDPAddr) ([]core.Point, int, error) {
+	return c.collectFragments(ctx, addr, protocol.FrameEstimate, nil,
+		func(f protocol.Frame) (int, int, []core.Point, bool, error) {
+			if f.Kind != protocol.FrameEstimate {
+				return 0, 0, nil, false, nil
+			}
+			body, err := protocol.DecodeEstimate(f.Body)
+			if err != nil {
+				return 0, 0, nil, false, err
+			}
+			return int(body.Frag), int(body.FragCount), body.Points, true, nil
+		})
+}
+
+// ledger delivers one chunk of the coordinator's compact-merge delta to
+// a shard's session ledger. bytes reports the request payload size.
+func (c *ctlClient) ledger(ctx context.Context, addr *net.UDPAddr, session uint64, pts []core.Point) (bytes int, err error) {
+	buf, err := protocol.LedgerBody{Session: session, Points: pts}.Encode()
+	if err != nil {
+		return 0, err
+	}
+	var resp protocol.Frame
+	collect := func(f protocol.Frame) (bool, error) {
+		if f.Kind != protocol.FrameAck {
+			return false, nil
+		}
+		if f.Flags&protocol.FlagUnknownSession != 0 {
+			return false, errUnknownSession
+		}
+		resp = f
+		return true, nil
+	}
+	if err := c.exchange(ctx, addr, protocol.FrameLedger, 0, buf, collect); err != nil {
+		return 0, err
+	}
+	if _, err := protocol.DecodeAck(resp.Body); err != nil {
+		return 0, err
+	}
+	return len(buf), nil
+}
+
+// sufficient runs one compact-merge round against a shard: it returns
+// the shard's Eq. (2) sufficient delta for the session, reassembled from
+// however many fragments the shard split it into, and the response
+// payload size. Retries are safe: the shard replays a computed round,
+// and refuses — rather than recreates — a session it no longer holds.
+func (c *ctlClient) sufficient(ctx context.Context, addr *net.UDPAddr, session uint64, round uint16) ([]core.Point, int, error) {
+	req, err := protocol.SufficientBody{Session: session, Round: round, FragCount: 1}.Encode()
+	if err != nil {
+		return nil, 0, err
+	}
+	return c.collectFragments(ctx, addr, protocol.FrameSufficient, req,
+		func(f protocol.Frame) (int, int, []core.Point, bool, error) {
+			if f.Kind != protocol.FrameSufficient {
+				return 0, 0, nil, false, nil
+			}
+			if f.Flags&protocol.FlagUnknownSession != 0 {
+				return 0, 0, nil, false, errUnknownSession
+			}
+			body, err := protocol.DecodeSufficient(f.Body)
+			if err != nil {
+				return 0, 0, nil, false, err
+			}
+			if body.Session != session || body.Round != round {
+				return 0, 0, nil, false, nil
+			}
+			return int(body.Frag), int(body.FragCount), body.Points, true, nil
+		})
 }
 
 // handoffFetch asks a shard for one sensor's current window points,
@@ -217,28 +302,21 @@ func (c *ctlClient) handoffFetch(ctx context.Context, addr *net.UDPAddr, sensor 
 	if err != nil {
 		return nil, err
 	}
-	frags := make(map[uint16][]core.Point)
-	fragCount := -1
-	collect := func(f protocol.Frame) (bool, error) {
-		if f.Kind != protocol.FrameHandoff {
-			return false, nil
-		}
-		body, err := protocol.DecodeHandoff(f.Body)
-		if err != nil || body.Sensor != sensor {
-			return false, err
-		}
-		frags[body.Frag] = body.Points
-		fragCount = int(body.FragCount)
-		return len(frags) == fragCount, nil
-	}
-	if err := c.exchange(ctx, addr, protocol.FrameHandoff, 0, buf, collect); err != nil {
-		return nil, err
-	}
-	var pts []core.Point
-	for i := 0; i < fragCount; i++ {
-		pts = append(pts, frags[uint16(i)]...)
-	}
-	return pts, nil
+	pts, _, err := c.collectFragments(ctx, addr, protocol.FrameHandoff, buf,
+		func(f protocol.Frame) (int, int, []core.Point, bool, error) {
+			if f.Kind != protocol.FrameHandoff {
+				return 0, 0, nil, false, nil
+			}
+			body, err := protocol.DecodeHandoff(f.Body)
+			if err != nil {
+				return 0, 0, nil, false, err
+			}
+			if body.Sensor != sensor {
+				return 0, 0, nil, false, nil
+			}
+			return int(body.Frag), int(body.FragCount), body.Points, true, nil
+		})
+	return pts, err
 }
 
 // handoffTransfer delivers one chunk of a sensor's window points to its

@@ -30,7 +30,7 @@ type testShard struct {
 
 // startShard boots a shard, optionally on a fixed control address (""
 // picks a free port).
-func startShard(t *testing.T, addr string) *testShard {
+func startShard(t testing.TB, addr string) *testShard {
 	t.Helper()
 	svc, err := ingest.New(ingest.Config{Detector: clusterDetCfg, AutoJoin: true})
 	if err != nil {
@@ -158,70 +158,89 @@ func waitFor(t *testing.T, d time.Duration, what string, cond func() bool) {
 // traces over random shard assignments (the rendezvous map changes with
 // the OS-assigned ports), the coordinator's merged outlier set over 3
 // shards equals the single-process innetd answer and baseline.Compute on
-// the same data — with and without boundary-sensor replication.
+// the same data — with and without boundary-sensor replication, through
+// both the compact iterative merge and the full-window path.
 func TestClusterEquivalence(t *testing.T) {
-	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
 	defer cancel()
-	for _, replicas := range []int{1, 2} {
-		for seed := uint64(1); seed <= 3; seed++ {
-			t.Run(fmt.Sprintf("replicas=%d/seed=%d", replicas, seed), func(t *testing.T) {
-				var shards []*testShard
-				var addrs []string
-				for i := 0; i < 3; i++ {
-					sh := startShard(t, "")
-					defer sh.stop()
-					shards = append(shards, sh)
-					addrs = append(addrs, sh.addr)
-				}
-				coord, err := New(Config{
-					Detector:       clusterDetCfg,
-					Shards:         addrs,
-					Replicas:       replicas,
-					QueryTimeout:   5 * time.Second,
-					HealthInterval: 50 * time.Millisecond,
-					HealthMisses:   2,
+	for _, mode := range []string{MergeCompact, MergeFull} {
+		for _, replicas := range []int{1, 2} {
+			for seed := uint64(1); seed <= 3; seed++ {
+				t.Run(fmt.Sprintf("%s/replicas=%d/seed=%d", mode, replicas, seed), func(t *testing.T) {
+					var shards []*testShard
+					var addrs []string
+					for i := 0; i < 3; i++ {
+						sh := startShard(t, "")
+						defer sh.stop()
+						shards = append(shards, sh)
+						addrs = append(addrs, sh.addr)
+					}
+					coord, err := New(Config{
+						Detector:       clusterDetCfg,
+						Shards:         addrs,
+						Replicas:       replicas,
+						MergeMode:      mode,
+						QueryTimeout:   5 * time.Second,
+						HealthInterval: 50 * time.Millisecond,
+						HealthMisses:   2,
+					})
+					if err != nil {
+						t.Fatal(err)
+					}
+					defer coord.Close()
+					single, err := ingest.New(ingest.Config{Detector: clusterDetCfg, AutoJoin: true})
+					if err != nil {
+						t.Fatal(err)
+					}
+					defer single.Close()
+
+					feedBoth(t, ctx, coord, single, shards, trace(seed, sensorRange(12), 5))
+
+					merged, err := coord.MergedEstimate(ctx)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if merged.Degraded {
+						t.Fatalf("merge degraded with all shards up: %d/%d", merged.ShardsOK, merged.ShardsTotal)
+					}
+					if merged.Mode != mode {
+						t.Fatalf("merge served by %q, want %q (no fallback expected)", merged.Mode, mode)
+					}
+					snap, err := single.Snapshot(ctx)
+					if err != nil {
+						t.Fatal(err)
+					}
+					want := baseline.Compute(clusterDetCfg.Ranker, clusterDetCfg.N, snap)
+					if !samePoints(merged.Outliers, want) {
+						t.Fatalf("merged %s != baseline %s", ids(merged.Outliers), ids(want))
+					}
+					est, err := single.Estimate(1)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !samePoints(est, want) {
+						t.Fatalf("single-process estimate %s != baseline %s", ids(est), ids(want))
+					}
+					if mode == MergeFull {
+						// The merged window is the full dataset,
+						// deduplicated across replicas.
+						if !samePoints(merged.Window, snap) {
+							t.Fatalf("merged window %d points != single snapshot %d points",
+								len(merged.Window), len(snap))
+						}
+					} else {
+						// The compact path must have iterated — and its
+						// candidate set is a subset of the window, which
+						// is the whole point.
+						if merged.Rounds < 1 || merged.PayloadBytes <= 0 {
+							t.Fatalf("compact merge rounds=%d payload=%d", merged.Rounds, merged.PayloadBytes)
+						}
+						if len(merged.Window) > len(snap) {
+							t.Fatalf("compact candidate set %d > window %d", len(merged.Window), len(snap))
+						}
+					}
 				})
-				if err != nil {
-					t.Fatal(err)
-				}
-				defer coord.Close()
-				single, err := ingest.New(ingest.Config{Detector: clusterDetCfg, AutoJoin: true})
-				if err != nil {
-					t.Fatal(err)
-				}
-				defer single.Close()
-
-				feedBoth(t, ctx, coord, single, shards, trace(seed, sensorRange(12), 5))
-
-				merged, err := coord.MergedEstimate(ctx)
-				if err != nil {
-					t.Fatal(err)
-				}
-				if merged.Degraded {
-					t.Fatalf("merge degraded with all shards up: %d/%d", merged.ShardsOK, merged.ShardsTotal)
-				}
-				snap, err := single.Snapshot(ctx)
-				if err != nil {
-					t.Fatal(err)
-				}
-				want := baseline.Compute(clusterDetCfg.Ranker, clusterDetCfg.N, snap)
-				if !samePoints(merged.Outliers, want) {
-					t.Fatalf("merged %s != baseline %s", ids(merged.Outliers), ids(want))
-				}
-				est, err := single.Estimate(1)
-				if err != nil {
-					t.Fatal(err)
-				}
-				if !samePoints(est, want) {
-					t.Fatalf("single-process estimate %s != baseline %s", ids(est), ids(want))
-				}
-				// The merged window is the full dataset, deduplicated
-				// across replicas.
-				if !samePoints(merged.Window, snap) {
-					t.Fatalf("merged window %d points != single snapshot %d points",
-						len(merged.Window), len(snap))
-				}
-			})
+			}
 		}
 	}
 }
@@ -406,9 +425,12 @@ func TestClusterMembershipChange(t *testing.T) {
 		addrs = append(addrs, sh.addr)
 	}
 	coord, err := New(Config{
-		Detector:       clusterDetCfg,
-		Shards:         addrs,
-		Replicas:       1,
+		Detector: clusterDetCfg,
+		Shards:   addrs,
+		Replicas: 1,
+		// The full path: this test pins window movement through its
+		// Window field, which the compact path does not materialize.
+		MergeMode:      MergeFull,
 		QueryTimeout:   5 * time.Second,
 		HealthInterval: 50 * time.Millisecond,
 		HealthMisses:   2,

@@ -44,6 +44,18 @@ type Config struct {
 	// QueryTimeout bounds the whole estimate fan-out. Default 2s.
 	QueryTimeout time.Duration
 
+	// MergeMode selects how MergedEstimate combines the shards:
+	// MergeCompact (default) runs the paper's Algorithm 1 iteratively
+	// over the shard-control wire — O(estimate + support) payload per
+	// round — falling back to MergeFull when a shard cannot play or the
+	// round budget runs out; MergeFull ships whole window snapshots.
+	// Both are exact.
+	MergeMode string
+
+	// MergeRounds bounds one compact merge's iteration count before it
+	// falls back to the full-window path. Default 16.
+	MergeRounds int
+
 	// HealthInterval is the probe period. Default 500ms.
 	HealthInterval time.Duration
 
@@ -75,6 +87,12 @@ func (c *Config) applyDefaults() {
 	}
 	if c.QueryTimeout <= 0 {
 		c.QueryTimeout = 2 * time.Second
+	}
+	if c.MergeMode == "" {
+		c.MergeMode = MergeCompact
+	}
+	if c.MergeRounds < 1 {
+		c.MergeRounds = 16
 	}
 	if c.HealthInterval <= 0 {
 		c.HealthInterval = 500 * time.Millisecond
@@ -128,6 +146,12 @@ type Stats struct {
 	Frames         uint64 // READINGS frames sent
 	Merges         uint64 // estimate merges served
 	MergesDegraded uint64 // merges with ≥1 shard missing
+	MergesCompact  uint64 // merges served by the compact iterative path
+	MergeFallbacks uint64 // compact merges that fell back to full
+	MergeRounds    uint64 // compact-merge rounds driven, total
+	MergeBytes     uint64 // compact-merge point payload bytes, both directions
+	MergeFullBytes uint64 // full-path window-snapshot payload bytes received
+	Recovered      uint64 // sensors whose identity counters were recovered at startup
 	Assigns        uint64 // ASSIGN epochs acknowledged
 	HandoffSensors uint64 // sensors restored via handoff
 	HandoffPoints  uint64 // points moved via handoff
@@ -154,6 +178,9 @@ type Coordinator struct {
 	routed, rejected, stale, failed atomic.Uint64
 	reroutes, frames                atomic.Uint64
 	merges, mergesDegraded          atomic.Uint64
+	mergesCompact, mergeFallbacks   atomic.Uint64
+	mergeRounds, mergeBytes         atomic.Uint64
+	mergeFullBytes, recovered       atomic.Uint64
 	assigns, handoffSen, handoffPts atomic.Uint64
 	flaps                           atomic.Uint64
 
@@ -201,8 +228,68 @@ func New(cfg Config) (*Coordinator, error) {
 		cancel:     cancel,
 		healthDone: make(chan struct{}),
 	}
+	c.recoverIdentities()
 	go c.healthLoop()
 	return c, nil
+}
+
+// recoverIdentities closes the restart hole in coordinator-minted point
+// identity: per-sensor sequence counters live in coordinator memory, so
+// a coordinator restarted inside a live window used to re-mint in-window
+// PointIDs. At startup we therefore fan window-snapshot queries to every
+// configured shard and seed each sensor's counter past the largest
+// sequence observed — and its staleness clock to the newest birth — so
+// the first reading routed after a restart continues the identity
+// stream instead of colliding with it. Best-effort by design: a shard
+// that is down contributes nothing (its points either survive on a
+// replica or age out), and an empty cluster costs one probe round trip
+// per shard.
+func (c *Coordinator) recoverIdentities() {
+	c.mu.Lock()
+	targets := make([]*shardState, 0, len(c.shards))
+	for _, st := range c.shards {
+		targets = append(targets, st)
+	}
+	c.mu.Unlock()
+
+	snaps := make([][]core.Point, len(targets))
+	var wg sync.WaitGroup
+	for i, st := range targets {
+		wg.Add(1)
+		go func(i int, st *shardState) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(c.ctx, c.cfg.ProbeTimeout)
+			defer cancel()
+			pts, _, err := c.client.estimate(ctx, st.udp)
+			if err == nil {
+				snaps[i] = pts
+			}
+		}(i, st)
+	}
+	wg.Wait()
+
+	c.mu.Lock()
+	for _, pts := range snaps {
+		for _, p := range pts {
+			sr := c.sensors[p.ID.Origin]
+			if sr == nil {
+				sr = &sensorRoute{}
+				c.sensors[p.ID.Origin] = sr
+			}
+			if p.ID.Seq >= sr.nextSeq {
+				sr.nextSeq = p.ID.Seq + 1
+			}
+			if p.Birth > sr.latest {
+				sr.latest = p.Birth
+			}
+		}
+	}
+	n := len(c.sensors)
+	c.mu.Unlock()
+	if n > 0 {
+		c.recovered.Store(uint64(n))
+		c.cfg.Logf("cluster: recovered identity counters for %d sensors from shard windows", n)
+	}
 }
 
 // Close stops the health loop and releases the control socket.
@@ -276,6 +363,12 @@ func (c *Coordinator) Stats() Stats {
 		Frames:         c.frames.Load(),
 		Merges:         c.merges.Load(),
 		MergesDegraded: c.mergesDegraded.Load(),
+		MergesCompact:  c.mergesCompact.Load(),
+		MergeFallbacks: c.mergeFallbacks.Load(),
+		MergeRounds:    c.mergeRounds.Load(),
+		MergeBytes:     c.mergeBytes.Load(),
+		MergeFullBytes: c.mergeFullBytes.Load(),
+		Recovered:      c.recovered.Load(),
 		Assigns:        c.assigns.Load(),
 		HandoffSensors: c.handoffSen.Load(),
 		HandoffPoints:  c.handoffPts.Load(),
@@ -451,19 +544,43 @@ func (c *Coordinator) shardState(addr string) *shardState {
 // MergeResult is one merged outlier view.
 type MergeResult struct {
 	Outliers []core.Point // On over the union of shard windows
-	Window   []core.Point // the merged window itself (tests, handoff)
+	// Window is the point set the answer was computed over: with
+	// MergeFull the merged window itself (tests, handoff), with
+	// MergeCompact the coordinator's accumulated candidate set C — a
+	// provably sufficient subset, not the whole window.
+	Window []core.Point
+
+	Mode         string // MergeCompact or MergeFull (after any fallback)
+	Rounds       int    // compact rounds driven (0 on the full path)
+	PayloadBytes int    // point payload moved for this query
 
 	MapVersion  uint64
 	ShardsTotal int // shards in the map
-	ShardsOK    int // shards whose snapshot arrived in time
+	ShardsOK    int // shards that answered
 	Degraded    bool
 }
 
-// MergedEstimate fans ESTIMATE queries to every up shard, unions the
-// window snapshots (deduplicating replicated points by identity) and
-// computes the global top-N outlier set — by construction the same
-// answer baseline.Compute gives over the union of all sensor windows.
+// MergedEstimate merges the shards' outlier views using the configured
+// merge mode; see MergedEstimateMode.
 func (c *Coordinator) MergedEstimate(ctx context.Context) (MergeResult, error) {
+	return c.MergedEstimateMode(ctx, "")
+}
+
+// MergedEstimateMode serves the cluster-wide outlier estimate — by
+// construction the same answer baseline.Compute gives over the union of
+// all sensor windows. Mode "" uses Config.MergeMode; MergeCompact runs
+// the iterative Algorithm 1 exchange (falling back to the full path when
+// a shard cannot play or the round budget runs out); MergeFull fans
+// ESTIMATE snapshot queries to every up shard and computes On over the
+// union.
+func (c *Coordinator) MergedEstimateMode(ctx context.Context, mode string) (MergeResult, error) {
+	switch mode {
+	case "":
+		mode = c.cfg.MergeMode
+	case MergeCompact, MergeFull:
+	default:
+		return MergeResult{}, fmt.Errorf("cluster: unknown merge mode %q", mode)
+	}
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
@@ -492,22 +609,56 @@ func (c *Coordinator) MergedEstimate(ctx context.Context) (MergeResult, error) {
 
 	ctx, cancel := context.WithTimeout(ctx, c.cfg.QueryTimeout)
 	defer cancel()
-	perAttempt := c.cfg.QueryTimeout / time.Duration(c.cfg.RetryAttempts)
 
+	if mode == MergeCompact {
+		// The compact path needs every target to answer every round, so
+		// give it half the query budget and keep the rest for the
+		// full-window fallback should a shard die mid-session.
+		compactCtx, ccancel := context.WithTimeout(ctx, c.cfg.QueryTimeout/2)
+		cres, err := c.compactMerge(compactCtx, targets)
+		ccancel()
+		c.mergeRounds.Add(uint64(cres.rounds))
+		c.mergeBytes.Add(uint64(cres.payload))
+		if err == nil {
+			res := MergeResult{
+				Outliers:     cres.outliers,
+				Window:       cres.cand.Points(),
+				Mode:         MergeCompact,
+				Rounds:       cres.rounds,
+				PayloadBytes: cres.payload,
+				MapVersion:   version,
+				ShardsTotal:  total,
+				ShardsOK:     len(targets),
+				Degraded:     len(targets) < total,
+			}
+			c.merges.Add(1)
+			c.mergesCompact.Add(1)
+			if res.Degraded {
+				c.mergesDegraded.Add(1)
+			}
+			return res, nil
+		}
+		c.mergeFallbacks.Add(1)
+		c.cfg.Logf("cluster: compact merge falling back to full after %d rounds: %v", cres.rounds, err)
+	}
+
+	perAttempt := c.cfg.QueryTimeout / time.Duration(c.cfg.RetryAttempts)
 	var (
 		wg    sync.WaitGroup
 		setMu sync.Mutex
 		union = core.NewSet()
 		ok    int
+		bytes int
 	)
 	for _, st := range targets {
 		wg.Add(1)
 		go func(st *shardState) {
 			defer wg.Done()
 			var pts []core.Point
+			var nb int
 			err := retry(ctx, c.cfg.RetryAttempts, perAttempt, func(ctx context.Context) error {
 				var err error
-				pts, err = c.client.estimate(ctx, st.udp)
+				pts, nb, err = c.client.estimate(ctx, st.udp)
 				return err
 			})
 			if err != nil {
@@ -516,6 +667,7 @@ func (c *Coordinator) MergedEstimate(ctx context.Context) (MergeResult, error) {
 			setMu.Lock()
 			defer setMu.Unlock()
 			ok++
+			bytes += nb
 			for _, p := range pts {
 				union.AddMinHop(p)
 			}
@@ -524,14 +676,17 @@ func (c *Coordinator) MergedEstimate(ctx context.Context) (MergeResult, error) {
 	wg.Wait()
 
 	res := MergeResult{
-		Window:      union.Points(),
-		MapVersion:  version,
-		ShardsTotal: total,
-		ShardsOK:    ok,
-		Degraded:    ok < total,
+		Window:       union.Points(),
+		Mode:         MergeFull,
+		PayloadBytes: bytes,
+		MapVersion:   version,
+		ShardsTotal:  total,
+		ShardsOK:     ok,
+		Degraded:     ok < total,
 	}
 	res.Outliers = core.TopN(c.cfg.Detector.Ranker, union, c.cfg.Detector.N)
 	c.merges.Add(1)
+	c.mergeFullBytes.Add(uint64(bytes))
 	if res.Degraded {
 		c.mergesDegraded.Add(1)
 	}

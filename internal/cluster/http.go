@@ -19,13 +19,16 @@ import (
 // to a cluster — only the address they point at.
 
 // WireMergedEstimate is the GET /v1/outliers response body: the merged
-// view plus how complete it is.
+// view plus how complete it is and what serving it cost.
 type WireMergedEstimate struct {
-	Outliers    []ingest.WireOutlier `json:"outliers"`
-	ShardsTotal int                  `json:"shards_total"`
-	ShardsOK    int                  `json:"shards_ok"`
-	Degraded    bool                 `json:"degraded"`
-	MapVersion  uint64               `json:"map_version"`
+	Outliers     []ingest.WireOutlier `json:"outliers"`
+	ShardsTotal  int                  `json:"shards_total"`
+	ShardsOK     int                  `json:"shards_ok"`
+	Degraded     bool                 `json:"degraded"`
+	MapVersion   uint64               `json:"map_version"`
+	MergeMode    string               `json:"merge_mode"`    // compact or full (after any fallback)
+	Rounds       int                  `json:"rounds"`        // compact rounds driven
+	PayloadBytes int                  `json:"payload_bytes"` // point payload moved for this query
 }
 
 // Handler returns the coordinator's HTTP API:
@@ -93,17 +96,28 @@ func (c *Coordinator) handleObservations(w http.ResponseWriter, r *http.Request)
 }
 
 func (c *Coordinator) handleOutliers(w http.ResponseWriter, r *http.Request) {
-	res, err := c.MergedEstimate(r.Context())
+	mode := r.URL.Query().Get("merge")
+	switch mode {
+	case "", MergeCompact, MergeFull:
+	default:
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("cluster: merge=%q (want %q or %q)", mode, MergeCompact, MergeFull))
+		return
+	}
+	res, err := c.MergedEstimateMode(r.Context(), mode)
 	if err != nil {
 		writeError(w, http.StatusServiceUnavailable, err)
 		return
 	}
 	resp := WireMergedEstimate{
-		Outliers:    make([]ingest.WireOutlier, 0, len(res.Outliers)),
-		ShardsTotal: res.ShardsTotal,
-		ShardsOK:    res.ShardsOK,
-		Degraded:    res.Degraded,
-		MapVersion:  res.MapVersion,
+		Outliers:     make([]ingest.WireOutlier, 0, len(res.Outliers)),
+		ShardsTotal:  res.ShardsTotal,
+		ShardsOK:     res.ShardsOK,
+		Degraded:     res.Degraded,
+		MapVersion:   res.MapVersion,
+		MergeMode:    res.Mode,
+		Rounds:       res.Rounds,
+		PayloadBytes: res.PayloadBytes,
 	}
 	for _, p := range res.Outliers {
 		resp.Outliers = append(resp.Outliers, ingest.WireOutlier{
@@ -173,6 +187,12 @@ func (c *Coordinator) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		{"innetcoord_readings_frames_total", st.Frames},
 		{"innetcoord_merges_total", st.Merges},
 		{"innetcoord_merges_degraded_total", st.MergesDegraded},
+		{"innetcoord_merges_compact_total", st.MergesCompact},
+		{"innetcoord_merge_fallbacks_total", st.MergeFallbacks},
+		{"innetcoord_merge_rounds_total", st.MergeRounds},
+		{"innetcoord_merge_bytes_total", st.MergeBytes},
+		{"innetcoord_merge_full_bytes_total", st.MergeFullBytes},
+		{"innetcoord_recovered_sensors", st.Recovered},
 		{"innetcoord_assigns_total", st.Assigns},
 		{"innetcoord_handoff_sensors_total", st.HandoffSensors},
 		{"innetcoord_handoff_points_total", st.HandoffPoints},

@@ -1,0 +1,167 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"sync"
+	"time"
+
+	"innet/internal/core"
+)
+
+// Compact cluster merge: the coordinator runs the paper's Algorithm 1
+// iteratively against the shards instead of unioning window snapshots.
+// The coordinator is a data-less node on a star topology; each shard is
+// a node whose dataset is its frozen window snapshot. Rounds exchange
+// Eq. (2) sufficient-set deltas against per-link shared ledgers:
+//
+//	round r: coordinator → shard   LEDGER chunks: Z_c \ ledger_s, the
+//	                               coordinator's sufficient delta over
+//	                               its candidate set C
+//	         coordinator → shard   SUFFICIENT(session, r): "react"
+//	         shard → coordinator   the shard's sufficient delta over
+//	                               P_s ∪ received, against the ledger
+//
+// When a full round moves no point in either direction the exchange is
+// quiescent, and by the paper's Lemma 3 the coordinator's On(C) equals
+// On over the union of all shard windows — the same answer the
+// full-window path computes by shipping every window. Per round the
+// payload is O(estimate + support), not O(window); see DESIGN.md for
+// the regime analysis and the fallback rules.
+
+// Merge modes selectable via Config.MergeMode, the -merge flag and the
+// ?merge= query parameter.
+const (
+	// MergeCompact runs the iterative Algorithm 1 exchange and falls
+	// back to MergeFull when a shard cannot play (predates the frames,
+	// dies mid-query) or the round budget runs out.
+	MergeCompact = "compact"
+	// MergeFull ships every shard's window snapshot and computes On
+	// over the union.
+	MergeFull = "full"
+)
+
+// errMergeRounds reports a compact merge that did not converge within
+// the round budget.
+var errMergeRounds = errors.New("cluster: compact merge round budget exhausted")
+
+// compactResult carries what a converged compact merge learned.
+type compactResult struct {
+	outliers []core.Point
+	cand     *core.Set // the coordinator's accumulated candidate set C
+	rounds   int
+	payload  int // point payload bytes exchanged, both directions
+}
+
+// compactMerge drives one compact-merge session against the targets. It
+// returns an error — and the rounds/payload spent — when any target
+// fails an exchange (the caller falls back to the full-window path) or
+// the round budget is exhausted. On success the result is exact for the
+// union of the targets' windows.
+func (c *Coordinator) compactMerge(ctx context.Context, targets []*shardState) (compactResult, error) {
+	session := rand.Uint64()
+	cand := core.NewSet()
+	ledgers := make([]*core.Set, len(targets))
+	for i := range ledgers {
+		ledgers[i] = core.NewSet()
+	}
+	res := compactResult{cand: cand}
+	// Merge exchanges are small and fast; a tighter per-attempt timeout
+	// than the big transfers use keeps a dead shard from eating the
+	// whole query budget before the fallback gets its turn.
+	perAttempt := c.cfg.QueryTimeout / time.Duration(2*c.cfg.RetryAttempts)
+
+	for round := 0; round < c.cfg.MergeRounds; round++ {
+		res.rounds++
+		// The coordinator's side of the round: its sufficient delta over
+		// C per link, computed sequentially (C is estimate-sized) so the
+		// shared merge source is only read concurrently, never built.
+		var src *core.MergeSource
+		if cand.Len() > 0 {
+			src = core.NewMergeSource(c.cfg.Detector.Ranker, c.cfg.Detector.N, cand.Points())
+		}
+		deltas := make([][]core.Point, len(targets))
+		quiet := true
+		for i := range targets {
+			if src != nil {
+				deltas[i] = src.Delta(ledgers[i])
+				if len(deltas[i]) > 0 {
+					quiet = false
+				}
+			}
+		}
+
+		// Network phase, fanned out per shard: deliver the delta in
+		// byte-budgeted LEDGER chunks, then ask for the shard's round
+		// delta. Every exchange is idempotent under retry.
+		type reply struct {
+			pts   []core.Point
+			bytes int
+			err   error
+		}
+		replies := make([]reply, len(targets))
+		var wg sync.WaitGroup
+		for i, st := range targets {
+			wg.Add(1)
+			go func(i int, st *shardState) {
+				defer wg.Done()
+				sent := 0
+				for _, chunk := range chunkByBytes(deltas[i], c.cfg.MaxFrameBytes) {
+					if len(chunk) == 0 {
+						continue
+					}
+					var nb int
+					err := retry(ctx, c.cfg.RetryAttempts, perAttempt, func(ctx context.Context) error {
+						var err error
+						nb, err = c.client.ledger(ctx, st.udp, session, chunk)
+						return err
+					})
+					if err != nil {
+						replies[i] = reply{err: fmt.Errorf("ledger to %s: %w", st.addr, err)}
+						return
+					}
+					sent += nb
+				}
+				var pts []core.Point
+				var nb int
+				err := retry(ctx, c.cfg.RetryAttempts, perAttempt, func(ctx context.Context) error {
+					var err error
+					pts, nb, err = c.client.sufficient(ctx, st.udp, session, uint16(round))
+					return err
+				})
+				if err != nil {
+					replies[i] = reply{err: fmt.Errorf("sufficient from %s: %w", st.addr, err)}
+					return
+				}
+				replies[i] = reply{pts: pts, bytes: sent + nb}
+			}(i, st)
+		}
+		wg.Wait()
+
+		for i := range targets {
+			if replies[i].err != nil {
+				return res, replies[i].err
+			}
+			res.payload += replies[i].bytes
+			// The shard confirmed receipt of the whole delta: it is now
+			// part of the link's shared ledger on both ends.
+			for _, p := range deltas[i] {
+				ledgers[i].AddMinHop(p)
+			}
+			if len(replies[i].pts) > 0 {
+				quiet = false
+			}
+			for _, p := range replies[i].pts {
+				cand.AddMinHop(p)
+				ledgers[i].AddMinHop(p)
+			}
+		}
+		if quiet {
+			res.outliers = core.TopN(c.cfg.Detector.Ranker, cand, c.cfg.Detector.N)
+			return res, nil
+		}
+	}
+	return res, errMergeRounds
+}

@@ -2,11 +2,14 @@ package cluster
 
 import (
 	"context"
+	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"innet/internal/core"
 	"innet/internal/ingest"
@@ -54,6 +57,17 @@ type ShardServer struct {
 
 	mapVersion atomic.Uint64
 
+	// Compact-merge state: live sessions keyed by the coordinator's
+	// session ID, plus the last snapshot's merge source keyed by a
+	// content fingerprint — sessions over an unchanged window skip the
+	// snapshot's index build and ranking batch entirely (the cluster
+	// counterpart of the detector's version-keyed supporter cache).
+	mergeMu     sync.Mutex
+	sessions    map[uint64]*mergeSession
+	maxSessions int
+	lastSrc     *core.MergeSource
+	lastFP      uint64
+
 	// slots bounds concurrent heavy handlers; see Serve.
 	slots chan struct{}
 	wg    sync.WaitGroup
@@ -61,6 +75,20 @@ type ShardServer struct {
 	ctx    context.Context
 	cancel context.CancelFunc
 }
+
+// mergeSession is one coordinator merge exchange in flight: the link
+// over the window snapshot frozen at session start, and the per-round
+// reply cache that makes retried SUFFICIENT queries idempotent.
+type mergeSession struct {
+	mu      sync.Mutex
+	link    *core.MergeLink
+	rounds  map[uint16][]core.Point
+	touched time.Time
+}
+
+// mergeSessionTTL evicts sessions whose coordinator went silent — a
+// crashed query must not pin snapshots forever.
+const mergeSessionTTL = time.Minute
 
 // ShardServerConfig parameterizes a ShardServer.
 type ShardServerConfig struct {
@@ -78,6 +106,11 @@ type ShardServerConfig struct {
 	// at any feature dimension the wire admits.
 	MaxFrameBytes int
 
+	// MaxMergeSessions caps concurrent compact-merge sessions; beyond it
+	// the least-recently-touched session is evicted (its coordinator
+	// falls back to the full-window path). Default 8.
+	MaxMergeSessions int
+
 	// Logf, when set, receives one line per control action.
 	Logf func(string, ...any)
 }
@@ -90,6 +123,9 @@ func NewShardServer(cfg ShardServerConfig) (*ShardServer, error) {
 	}
 	if cfg.MaxFrameBytes <= 0 {
 		cfg.MaxFrameBytes = defaultFrameBytes
+	}
+	if cfg.MaxMergeSessions <= 0 {
+		cfg.MaxMergeSessions = 8
 	}
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
@@ -104,13 +140,15 @@ func NewShardServer(cfg ShardServerConfig) (*ShardServer, error) {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	return &ShardServer{
-		svc:      cfg.Service,
-		conn:     conn,
-		logf:     cfg.Logf,
-		maxBytes: cfg.MaxFrameBytes,
-		slots:    make(chan struct{}, 8),
-		ctx:      ctx,
-		cancel:   cancel,
+		svc:         cfg.Service,
+		conn:        conn,
+		logf:        cfg.Logf,
+		maxBytes:    cfg.MaxFrameBytes,
+		sessions:    make(map[uint64]*mergeSession),
+		maxSessions: cfg.MaxMergeSessions,
+		slots:       make(chan struct{}, 8),
+		ctx:         ctx,
+		cancel:      cancel,
 	}, nil
 }
 
@@ -191,6 +229,10 @@ func (s *ShardServer) handle(f protocol.Frame, from *net.UDPAddr) {
 		err = s.handleEstimate(f, from)
 	case protocol.FrameReadings:
 		err = s.handleReadings(f, from)
+	case protocol.FrameLedger:
+		err = s.handleLedger(f, from)
+	case protocol.FrameSufficient:
+		err = s.handleSufficient(f, from)
 	}
 	s.finish(f, from, err)
 }
@@ -338,6 +380,168 @@ func (s *ShardServer) handleHandoffFetch(f protocol.Frame, from *net.UDPAddr) er
 			return err
 		}
 		if err := s.respond(from, f, protocol.FrameHandoff, resp); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// fingerprintPoints hashes a window snapshot's content (IDs and birth
+// stamps; values are determined by identity) so merge sessions can tell
+// an unchanged window from a changed one without comparing point lists.
+func fingerprintPoints(pts []core.Point) uint64 {
+	h := fnv.New64a()
+	var buf [14]byte
+	for _, p := range pts {
+		binary.BigEndian.PutUint16(buf[0:], uint16(p.ID.Origin))
+		binary.BigEndian.PutUint32(buf[2:], p.ID.Seq)
+		binary.BigEndian.PutUint64(buf[6:], uint64(p.Birth))
+		h.Write(buf[:])
+	}
+	return h.Sum64()
+}
+
+// mergeSession returns the session with the given ID, creating it — over
+// a freshly frozen window snapshot — only when create is set (a round-0
+// SUFFICIENT, the exchange's opening move). Any other frame naming an
+// unknown session returns nil: the session was evicted or the shard
+// restarted, and transparently recreating it with an empty ledger would
+// desynchronize the two ends' ledgers — the coordinator would withhold
+// candidates it believes delivered, the shard's fixed point would never
+// refute them, and a quiescent-but-wrong answer could be served as
+// exact. The caller turns nil into a FlagUnknownSession refusal, which
+// drives the coordinator to the full-window fallback.
+//
+// The snapshot's merge source (spatial index, ranking batch, Eq. (2)
+// seed) is reused across sessions while the window fingerprint is
+// unchanged, so repeated queries over a quiet window skip straight to
+// the fixed point.
+func (s *ShardServer) mergeSession(id uint64, create bool) (*mergeSession, error) {
+	s.mergeMu.Lock()
+	if sess := s.sessions[id]; sess != nil {
+		sess.touched = time.Now()
+		s.mergeMu.Unlock()
+		return sess, nil
+	}
+	s.mergeMu.Unlock()
+	if !create {
+		return nil, nil
+	}
+
+	// Snapshot outside the lock: it round-trips every sensor's event
+	// loop and must not stall concurrent merge frames.
+	snap, err := s.svc.Snapshot(s.ctx)
+	if err != nil {
+		return nil, err
+	}
+	fp := fingerprintPoints(snap)
+
+	s.mergeMu.Lock()
+	defer s.mergeMu.Unlock()
+	if sess := s.sessions[id]; sess != nil {
+		return sess, nil // lost the creation race; use the winner's snapshot
+	}
+	src := s.lastSrc
+	if src == nil || s.lastFP != fp || src.Len() != len(snap) {
+		src = core.NewMergeSource(s.svc.DetectorConfig().Ranker, s.svc.DetectorConfig().N, snap)
+		s.lastSrc, s.lastFP = src, fp
+	}
+	now := time.Now()
+	var oldest uint64
+	oldestAt := now
+	for sid, sess := range s.sessions {
+		if now.Sub(sess.touched) > mergeSessionTTL {
+			delete(s.sessions, sid)
+			continue
+		}
+		if sess.touched.Before(oldestAt) {
+			oldest, oldestAt = sid, sess.touched
+		}
+	}
+	if len(s.sessions) >= s.maxSessions {
+		delete(s.sessions, oldest)
+	}
+	sess := &mergeSession{
+		link:    src.NewLink(),
+		rounds:  make(map[uint16][]core.Point),
+		touched: now,
+	}
+	s.sessions[id] = sess
+	return sess, nil
+}
+
+// refuseSession answers a frame naming a merge session this shard no
+// longer holds; see mergeSession.
+func (s *ShardServer) refuseSession(to *net.UDPAddr, req protocol.Frame, kind protocol.FrameKind) error {
+	frame := protocol.EncodeFrame(protocol.Frame{
+		Kind:  kind,
+		Flags: protocol.FlagResponse | protocol.FlagUnknownSession,
+		ReqID: req.ReqID,
+	})
+	_, err := s.conn.WriteToUDP(frame, to)
+	return err
+}
+
+// handleLedger absorbs one chunk of the coordinator's sufficient-set
+// delta into the session's shared ledger (and dataset — Algorithm 1
+// folds receipts into P before reacting). Redelivery is a no-op; the
+// ACK reports how many points were new. Ledger chunks never open a
+// session: only a round-0 SUFFICIENT does.
+func (s *ShardServer) handleLedger(f protocol.Frame, from *net.UDPAddr) error {
+	body, err := protocol.DecodeLedger(f.Body)
+	if err != nil {
+		return err
+	}
+	sess, err := s.mergeSession(body.Session, false)
+	if err != nil {
+		return err
+	}
+	if sess == nil {
+		return s.refuseSession(from, f, protocol.FrameAck)
+	}
+	sess.mu.Lock()
+	added := sess.link.Absorb(body.Points)
+	sess.mu.Unlock()
+	return s.respond(from, f, protocol.FrameAck, protocol.AckBody{Count: uint64(added)}.Encode())
+}
+
+// handleSufficient answers one compact-merge round: the session's
+// Eq. (2) sufficient delta against everything exchanged so far,
+// fragmented under the byte budget. A retried round replays the cached
+// delta instead of recomputing, so a lost response frame cannot advance
+// the ledger twice.
+func (s *ShardServer) handleSufficient(f protocol.Frame, from *net.UDPAddr) error {
+	body, err := protocol.DecodeSufficient(f.Body)
+	if err != nil {
+		return err
+	}
+	sess, err := s.mergeSession(body.Session, body.Round == 0)
+	if err != nil {
+		return err
+	}
+	if sess == nil {
+		return s.refuseSession(from, f, protocol.FrameSufficient)
+	}
+	sess.mu.Lock()
+	delta, ok := sess.rounds[body.Round]
+	if !ok {
+		delta = sess.link.Delta()
+		sess.rounds[body.Round] = delta
+	}
+	sess.mu.Unlock()
+	chunks := chunkByBytes(delta, s.maxBytes)
+	for i, chunk := range chunks {
+		resp, err := protocol.SufficientBody{
+			Session:   body.Session,
+			Round:     body.Round,
+			Frag:      uint16(i),
+			FragCount: uint16(len(chunks)),
+			Points:    chunk,
+		}.Encode()
+		if err != nil {
+			return err
+		}
+		if err := s.respond(from, f, protocol.FrameSufficient, resp); err != nil {
 			return err
 		}
 	}

@@ -61,6 +61,50 @@ func TestHeldSupporterCache(t *testing.T) {
 	}
 }
 
+// TestStrataCacheMatchesFresh pins the semi-global strata cache: a
+// detector that has been through window-preserving events (link churn,
+// redundant receipts — all cache hits) must send a new neighbor exactly
+// the points a churn-free detector with the same window sends. Observes
+// and receives in between force rebuilds, so both hit and miss paths are
+// exercised.
+func TestStrataCacheMatchesFresh(t *testing.T) {
+	r := rng(17)
+	mk := func() *Detector {
+		det, err := NewDetector(Config{Node: 1, Ranker: KNN{K: 2}, N: 3, HopLimit: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return det
+	}
+	churned, fresh := mk(), mk()
+	feed := func(step func(d *Detector) *Outbound) {
+		t.Helper()
+		step(churned)
+		step(fresh)
+	}
+	for s := 0; s < 30; s++ {
+		p := randPoint(r, 1, uint32(s), 2, 100)
+		feed(func(d *Detector) *Outbound { return d.ObservePoint(p) })
+		if s%4 == 0 {
+			in := randPoint(r, 2, uint32(s), 2, 100)
+			in.Hop = 1
+			feed(func(d *Detector) *Outbound { return d.Receive(2, []Point{in}) })
+		}
+		// Churn only on one detector: these events leave the window
+		// untouched, so the churned detector serves them from the strata
+		// cache while the fresh one never builds them at this version.
+		churned.AddNeighbor(7)
+		churned.RemoveNeighbor(7)
+	}
+	if !churned.held.EqualIDs(fresh.held) {
+		t.Fatal("setup bug: windows diverged")
+	}
+	co, fo := churned.AddNeighbor(9), fresh.AddNeighbor(9)
+	if !sameIDs(co.For(9), fo.For(9)) {
+		t.Fatalf("cached strata delta %s != fresh %s", idList(co.For(9)), idList(fo.For(9)))
+	}
+}
+
 // TestStepObserveBatchAssignedSeq checks that observations carrying a
 // caller-assigned sequence number mint exactly that identity, that the
 // detector's own counter advances past assigned values, and that
@@ -165,6 +209,28 @@ func BenchmarkEstimateWindowUnchanged(b *testing.B) {
 			TopN(rk, set, 4)
 		}
 	})
+}
+
+// BenchmarkSemiGlobalLinkEventWindowUnchanged measures the Algorithm 2
+// counterpart of the link-event benchmark: with the strata cache, link
+// churn on an unchanged window reuses the per-stratum supporters and
+// seeds instead of refiltering and reranking every stratum per event.
+func BenchmarkSemiGlobalLinkEventWindowUnchanged(b *testing.B) {
+	r := rng(11)
+	det, err := NewDetector(Config{Node: 1, Ranker: KNN{K: 4}, N: 4, HopLimit: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	vals := make([][]float64, 2120)
+	for i := range vals {
+		vals[i] = []float64{r.Float64() * 10, r.Float64() * 50, r.Float64() * 50}
+	}
+	det.ObserveBatch(0, vals...)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		det.AddNeighbor(NodeID(2 + i%2))
+		det.RemoveNeighbor(NodeID(2 + i%2))
+	}
 }
 
 // BenchmarkLinkEventWindowUnchanged measures a full link-change reaction

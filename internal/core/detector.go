@@ -163,6 +163,14 @@ type Detector struct {
 	heldSup  *supporter
 	heldSupV uint64
 
+	// strata is the semi-global (HopLimit > 0) counterpart of heldSup:
+	// the hop strata P≤h with their supporters and Eq. (2) seeds, keyed
+	// on the same window version. The strata are pure derivations of
+	// P_i (filter by hop, rank, seed), so any event that leaves the
+	// window unchanged reuses them wholesale.
+	strata  []stratum
+	strataV uint64
+
 	stats Stats
 }
 
@@ -535,7 +543,7 @@ func (d *Detector) react() *Outbound {
 	out := &Outbound{From: d.cfg.Node}
 	var deltas func(j NodeID) []Point
 	if d.cfg.HopLimit > 0 {
-		strata := d.prepareStrata()
+		strata := d.hopStrata()
 		deltas = func(j NodeID) []Point { return d.semiGlobalDelta(j, strata) }
 	} else {
 		sup := d.heldSupporter()
@@ -572,10 +580,22 @@ type stratum struct {
 	seed *Set
 }
 
-// prepareStrata computes the hop strata P≤h and their seeds for
-// h = 0..HopLimit-1. The strata are per-event derivations of P_i, so they
-// do not go through the heldSupporter cache.
-func (d *Detector) prepareStrata() []stratum {
+// hopStrata returns the cached hop strata over P_i, rebuilding them only
+// when the window content has changed since they were built — the same
+// version-keyed reuse heldSupporter gives the global path. The slice is
+// never empty (HopLimit ≥ 1 when this is called), so nil doubles as the
+// not-yet-built sentinel.
+func (d *Detector) hopStrata() []stratum {
+	if d.strata == nil || d.strataV != d.held.Version() {
+		d.strata = d.buildStrata()
+		d.strataV = d.held.Version()
+	}
+	return d.strata
+}
+
+// buildStrata computes the hop strata P≤h and their seeds for
+// h = 0..HopLimit-1.
+func (d *Detector) buildStrata() []stratum {
 	strata := make([]stratum, d.cfg.HopLimit)
 	for h := range strata {
 		set := d.held.MaxHop(uint8(h))

@@ -534,6 +534,12 @@ func (s *Service) HoldingsOf(ctx context.Context, id core.NodeID) ([]core.Point,
 	return held.Points(), nil
 }
 
+// DetectorConfig returns the per-sensor detector configuration template
+// (Node is assigned per sensor at join). The cluster shard server uses
+// it to answer coordinator merge rounds with exactly the ranker and N
+// the fleet ranks with.
+func (s *Service) DetectorConfig() core.Config { return s.cfg.Detector }
+
 // SensorStat is one attached sensor's queue state.
 type SensorStat struct {
 	ID    core.NodeID

@@ -231,14 +231,21 @@ func (p *Peer) RemoveNeighbor(ctx context.Context, j core.NodeID) error {
 // Holdings snapshots the peer's full sliding window P_i (own and
 // received points) via the event loop, so the copy is consistent. The
 // cluster shard server serves window snapshots from this for the
-// coordinator's estimate merge and for sensor handoff.
+// coordinator's estimate merge and for sensor handoff. The result rides
+// a buffered channel rather than a captured variable: when ctx expires
+// after the command was enqueued, the event loop still runs the closure
+// later, and a plain capture would make that write race the caller's
+// return.
 func (p *Peer) Holdings(ctx context.Context) (*core.Set, error) {
-	var held *core.Set
+	res := make(chan *core.Set, 1)
 	err := p.do(ctx, func(d *core.Detector) *core.Outbound {
-		held = d.Holdings()
+		res <- d.Holdings()
 		return nil
 	})
-	return held, err
+	if err != nil {
+		return nil, err
+	}
+	return <-res, nil
 }
 
 // Estimate returns the latest published outlier estimate. It is safe to
@@ -252,14 +259,19 @@ func (p *Peer) Estimate() []core.Point {
 }
 
 // Stats snapshots the detector counters via the event loop (so it is
-// consistent, not torn).
+// consistent, not torn). The buffered-channel shape mirrors Holdings:
+// a closure run after the caller gave up must not write a variable the
+// caller already read.
 func (p *Peer) Stats(ctx context.Context) (core.Stats, error) {
-	var stats core.Stats
+	res := make(chan core.Stats, 1)
 	err := p.do(ctx, func(d *core.Detector) *core.Outbound {
-		stats = d.Stats()
+		res <- d.Stats()
 		return nil
 	})
-	return stats, err
+	if err != nil {
+		return core.Stats{}, err
+	}
+	return <-res, nil
 }
 
 var _ fmt.Stringer = PeerState{}

@@ -31,8 +31,18 @@ package protocol
 //	                                shard's map version and fleet size
 //	READINGS  coordinator → shard   routed ingest batch with
 //	                                coordinator-assigned point identities
-//	ACK       shard → coordinator   count acknowledgment for READINGS and
-//	                                HANDOFF transfers
+//	ACK       shard → coordinator   count acknowledgment for READINGS,
+//	                                HANDOFF transfers and LEDGER deliveries
+//	LEDGER    coordinator → shard   compact-merge candidate delivery: the
+//	                                coordinator's sufficient-set delta for
+//	                                one merge session, recorded in the
+//	                                link's shared ledger (ACK response)
+//	SUFFICIENT coordinator → shard  compact-merge round query: "compute
+//	                                your Eq. (2) sufficient delta for
+//	                                session S, round R"; the response may
+//	                                span several fragments, each echoing
+//	                                the reqID, and is replayed verbatim on
+//	                                a retried round
 
 import (
 	"encoding/binary"
@@ -47,12 +57,14 @@ type FrameKind uint8
 
 // Shard-control frame kinds.
 const (
-	FrameAssign   FrameKind = 1
-	FrameHandoff  FrameKind = 2
-	FrameEstimate FrameKind = 3
-	FrameHealth   FrameKind = 4
-	FrameReadings FrameKind = 5
-	FrameAck      FrameKind = 6
+	FrameAssign     FrameKind = 1
+	FrameHandoff    FrameKind = 2
+	FrameEstimate   FrameKind = 3
+	FrameHealth     FrameKind = 4
+	FrameReadings   FrameKind = 5
+	FrameAck        FrameKind = 6
+	FrameLedger     FrameKind = 7
+	FrameSufficient FrameKind = 8
 )
 
 // String implements fmt.Stringer.
@@ -70,6 +82,10 @@ func (k FrameKind) String() string {
 		return "READINGS"
 	case FrameAck:
 		return "ACK"
+	case FrameLedger:
+		return "LEDGER"
+	case FrameSufficient:
+		return "SUFFICIENT"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}
@@ -82,6 +98,15 @@ const (
 	// FlagTransfer turns a HANDOFF from a window request into a window
 	// delivery.
 	FlagTransfer = 1 << 1
+	// FlagUnknownSession marks a LEDGER/SUFFICIENT response refusing a
+	// merge session the shard does not hold. Sessions are only created
+	// by a round-0 SUFFICIENT, so a mid-exchange eviction (or shard
+	// restart) surfaces as an explicit refusal instead of a silently
+	// recreated session with an empty ledger — the coordinator must
+	// abandon the compact session and fall back to the full-window
+	// path, because its own ledger already counts points the shard
+	// would no longer know about.
+	FlagUnknownSession = 1 << 2
 )
 
 const (
@@ -128,7 +153,7 @@ func DecodeFrame(buf []byte) (Frame, error) {
 		ReqID: binary.BigEndian.Uint32(buf[4:]),
 		Body:  buf[frameHeader:],
 	}
-	if f.Kind < FrameAssign || f.Kind > FrameAck {
+	if f.Kind < FrameAssign || f.Kind > FrameSufficient {
 		return Frame{}, fmt.Errorf("protocol: unknown shard-control kind %d", buf[2])
 	}
 	return f, nil
@@ -339,6 +364,92 @@ func DecodeReadings(buf []byte) (ReadingsBody, error) {
 		return ReadingsBody{}, err
 	}
 	return ReadingsBody{Points: pts}, nil
+}
+
+// LedgerBody is the LEDGER payload: one chunk of the coordinator's
+// sufficient-set delta for a compact-merge session, to be recorded in
+// the shard's shared ledger for that session. Sessions are identified by
+// a coordinator-chosen 64-bit ID so a retried or reordered chunk lands
+// in the right exchange; delivery is idempotent (ledgers deduplicate by
+// PointID). The response is an AckBody carrying how many points were
+// previously unknown to the session.
+type LedgerBody struct {
+	Session uint64
+	Points  []core.Point
+}
+
+// Encode serializes the LEDGER body.
+func (b LedgerBody) Encode() ([]byte, error) {
+	pts, err := core.EncodePoints(b.Points)
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, 0, 8+len(pts))
+	buf = binary.BigEndian.AppendUint64(buf, b.Session)
+	return append(buf, pts...), nil
+}
+
+// DecodeLedger parses a LEDGER body.
+func DecodeLedger(buf []byte) (LedgerBody, error) {
+	if len(buf) < 8 {
+		return LedgerBody{}, core.ErrTruncated
+	}
+	b := LedgerBody{Session: binary.BigEndian.Uint64(buf)}
+	pts, err := core.DecodePoints(buf[8:])
+	if err != nil {
+		return LedgerBody{}, err
+	}
+	b.Points = pts
+	return b, nil
+}
+
+// SufficientBody is the SUFFICIENT payload, both directions. The request
+// names a merge session and a round (Frag 0/1, no points); the response
+// carries the shard's Eq. (2) sufficient delta for that round, split
+// over however many fragments the byte budget requires, FragCount
+// repeated on each so the querier can size reassembly from whichever
+// arrives first. Rounds are idempotent: a shard replays a cached round's
+// delta on retry instead of recomputing, so a lost response cannot make
+// the exchange double-count.
+type SufficientBody struct {
+	Session   uint64
+	Round     uint16
+	Frag      uint16
+	FragCount uint16
+	Points    []core.Point
+}
+
+// Encode serializes the SUFFICIENT body.
+func (b SufficientBody) Encode() ([]byte, error) {
+	pts, err := core.EncodePoints(b.Points)
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, 0, 14+len(pts))
+	buf = binary.BigEndian.AppendUint64(buf, b.Session)
+	buf = binary.BigEndian.AppendUint16(buf, b.Round)
+	buf = binary.BigEndian.AppendUint16(buf, b.Frag)
+	buf = binary.BigEndian.AppendUint16(buf, b.FragCount)
+	return append(buf, pts...), nil
+}
+
+// DecodeSufficient parses a SUFFICIENT body.
+func DecodeSufficient(buf []byte) (SufficientBody, error) {
+	if len(buf) < 14 {
+		return SufficientBody{}, core.ErrTruncated
+	}
+	b := SufficientBody{
+		Session:   binary.BigEndian.Uint64(buf),
+		Round:     binary.BigEndian.Uint16(buf[8:]),
+		Frag:      binary.BigEndian.Uint16(buf[10:]),
+		FragCount: binary.BigEndian.Uint16(buf[12:]),
+	}
+	pts, err := core.DecodePoints(buf[14:])
+	if err != nil {
+		return SufficientBody{}, err
+	}
+	b.Points = pts
+	return b, nil
 }
 
 // AckBody is the generic count acknowledgment: readings accepted, points

@@ -138,6 +138,55 @@ func TestHandoffEstimateReadingsRoundTrip(t *testing.T) {
 	}
 }
 
+func TestLedgerSufficientRoundTrip(t *testing.T) {
+	pts := ctlPoints()
+
+	lb, err := LedgerBody{Session: 0xfeedface00112233, Points: pts}.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := DecodeLedger(lb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Session != 0xfeedface00112233 || len(l.Points) != 2 || l.Points[0].ID != pts[0].ID {
+		t.Fatalf("ledger mismatch: %+v", l)
+	}
+	if _, err := DecodeLedger(lb[:5]); err == nil {
+		t.Fatal("truncated LEDGER decoded")
+	}
+
+	// Request shape: no points, Frag 0/1.
+	req, err := SufficientBody{Session: 7, Round: 3, FragCount: 1}.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rq, err := DecodeSufficient(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rq.Session != 7 || rq.Round != 3 || len(rq.Points) != 0 {
+		t.Fatalf("sufficient request mismatch: %+v", rq)
+	}
+
+	// Response shape: fragmented points.
+	sb, err := SufficientBody{Session: 7, Round: 3, Frag: 1, FragCount: 2, Points: pts}.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := DecodeSufficient(sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Session != 7 || s.Round != 3 || s.Frag != 1 || s.FragCount != 2 ||
+		len(s.Points) != 2 || s.Points[1].Value[0] != -40 {
+		t.Fatalf("sufficient response mismatch: %+v", s)
+	}
+	if _, err := DecodeSufficient(sb[:13]); err == nil {
+		t.Fatal("truncated SUFFICIENT decoded")
+	}
+}
+
 func TestHealthAckRoundTrip(t *testing.T) {
 	h, err := DecodeHealth(HealthBody{MapVersion: 9, Sensors: 1024}.Encode())
 	if err != nil {
@@ -179,5 +228,7 @@ func TestFrameDecodeNeverPanics(t *testing.T) {
 		_, _ = DecodeReadings(f.Body)
 		_, _ = DecodeHealth(f.Body)
 		_, _ = DecodeAck(f.Body)
+		_, _ = DecodeLedger(f.Body)
+		_, _ = DecodeSufficient(f.Body)
 	}
 }

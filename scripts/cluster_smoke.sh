@@ -3,9 +3,11 @@
 # innet-coord, start 1 coordinator + 3 detector shards (plus a
 # single-process reference innetd), ingest the same burst into both the
 # cluster and the reference over HTTP and the UDP line protocol, and
-# assert the coordinator's merged outlier set equals the single-process
-# answer. Then kill one shard and assert the merged answer survives
-# (replicas=2) while the view reports itself degraded.
+# assert the coordinator's merged outlier set — served by the compact
+# iterative merge — equals the single-process answer, for strictly less
+# payload than a full-window merge of the same data moves. Then kill one
+# shard and assert the merged answer survives (replicas=2) while the
+# view reports itself degraded.
 #
 # Needs: go, curl, bash (uses /dev/udp). CI runs this; it is also
 # runnable locally: scripts/cluster_smoke.sh
@@ -43,9 +45,9 @@ for i in 0 1 2; do
   PIDS+=($!)
 done
 
-echo "== start the coordinator (replicas=2)"
+echo "== start the coordinator (replicas=2, compact merge)"
 "$BINDIR/innet-coord" -http "$COORD_HTTP" -udp "$HOST:$COORD_UDP_PORT" \
-  -shards "$(IFS=,; echo "${SHARD_CTL[*]}")" -replicas 2 \
+  -shards "$(IFS=,; echo "${SHARD_CTL[*]}")" -replicas 2 -merge compact \
   -health-interval 100ms "${DETFLAGS[@]}" &
 COORD_PID=$!
 PIDS+=("$COORD_PID")
@@ -77,6 +79,20 @@ echo "== POST the same batch to the cluster and the reference"
 curl -fsS -X POST "http://$COORD_HTTP/v1/observations" -d "$BATCH"; echo
 curl -fsS -X POST "http://$SINGLE_HTTP/v1/observations" -d "$BATCH"; echo
 
+echo "== widen the windows so the payload comparison is meaningful"
+# 8 more rounds per sensor, all inside the 10m window: the full-window
+# merge must ship every point of every shard window per query, the
+# compact merge only estimates and supports.
+FILL='{"readings":['
+for ROUND in $(seq 1 8); do
+  for S in 1 2 3 4 5 6; do
+    FILL+="{\"sensor\":$S,\"at_ms\":$((60000 + ROUND * 60000)),\"values\":[20.$((S + ROUND))]},"
+  done
+done
+FILL="${FILL%,}]}"
+curl -fsS -X POST "http://$COORD_HTTP/v1/observations" -d "$FILL" >/dev/null
+curl -fsS -X POST "http://$SINGLE_HTTP/v1/observations" -d "$FILL" >/dev/null
+
 echo "== UDP-fire the same burst at both (sensor 9 has a stuck-at-rail fault)"
 for LINE in "3 61000 20.35" "9 62000 55.3"; do
   echo "$LINE" > "/dev/udp/$HOST/$COORD_UDP_PORT"
@@ -90,16 +106,17 @@ outliers() { # extract the outlier array from a query response
   grep -o '"outliers":\[[^]]*\]' <<<"$1"
 }
 
-echo "== poll until the merged answer is complete and matches the reference"
+echo "== poll until the compact merged answer is complete and matches the reference"
 MATCH=
 for _ in $(seq 1 150); do
   MERGED=$(curl -fsS "http://$COORD_HTTP/v1/outliers")
   SINGLE=$(curl -fsS "http://$SINGLE_HTTP/v1/outliers?sensor=1")
   if grep -q '"degraded":false' <<<"$MERGED" && grep -q '"shards_ok":3' <<<"$MERGED" \
+     && grep -q '"merge_mode":"compact"' <<<"$MERGED" \
      && grep -q '"sensor":9' <<<"$MERGED" \
      && [[ "$(outliers "$MERGED")" == "$(outliers "$SINGLE")" ]]; then
     MATCH=1
-    echo "merged == single-process: $(outliers "$MERGED")"
+    echo "compact merged == single-process: $(outliers "$MERGED")"
     break
   fi
   sleep 0.1
@@ -110,6 +127,27 @@ done
   echo "  single: ${SINGLE:-}" >&2
   exit 1
 }
+
+metric() { # extract one counter from the coordinator's /metrics
+  curl -fsS "http://$COORD_HTTP/metrics" | awk -v m="$1" '$1 == m {print $2}'
+}
+
+echo "== compare per-query payload: compact vs full-window merge"
+B0=$(metric innetcoord_merge_bytes_total)
+COMPACT=$(curl -fsS "http://$COORD_HTTP/v1/outliers")
+B1=$(metric innetcoord_merge_bytes_total)
+F0=$(metric innetcoord_merge_full_bytes_total)
+FULL=$(curl -fsS "http://$COORD_HTTP/v1/outliers?merge=full")
+F1=$(metric innetcoord_merge_full_bytes_total)
+grep -q '"merge_mode":"compact"' <<<"$COMPACT" || { echo "compact query fell back: $COMPACT" >&2; exit 1; }
+grep -q '"merge_mode":"full"' <<<"$FULL" || { echo "full query not full: $FULL" >&2; exit 1; }
+[[ "$(outliers "$COMPACT")" == "$(outliers "$FULL")" ]] || {
+  echo "compact and full merges disagree: $COMPACT vs $FULL" >&2; exit 1; }
+COMPACT_BYTES=$((B1 - B0))
+FULL_BYTES=$((F1 - F0))
+echo "compact payload: ${COMPACT_BYTES}B/query, full-window payload: ${FULL_BYTES}B/query"
+[[ "$COMPACT_BYTES" -gt 0 && "$COMPACT_BYTES" -lt "$FULL_BYTES" ]] || {
+  echo "compact merge payload ${COMPACT_BYTES}B not below full ${FULL_BYTES}B" >&2; exit 1; }
 
 echo "== shard states"
 curl -fsS "http://$COORD_HTTP/v1/shards"; echo

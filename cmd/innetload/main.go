@@ -1,0 +1,134 @@
+// Command innetload is the load harness: it fires one JSON scenario's
+// synthetic sensor fleet at a live innetd or innet-coord over the UDP
+// line protocol, probes query latency per merge mode while the fleet
+// streams, freezes ingestion at checkpoint boundaries to prove the
+// served answer still equals the centralized baseline, and writes the
+// run's BENCH_innetload_<scenario>.json artifact. See the README's
+// "Load testing" section and scripts/scenarios/ for the matrix.
+//
+// Usage:
+//
+//	innetload -scenario file.json -http URL -udp addr
+//	          [-shard-http URL1,URL2,...] [-out dir] [-v]
+//
+// Example against a two-shard cluster:
+//
+//	innetload -scenario scripts/scenarios/churnloss.json \
+//	          -http http://127.0.0.1:8080 -udp 127.0.0.1:9000 \
+//	          -shard-http http://127.0.0.1:8181,http://127.0.0.1:8182
+//
+// The target is classified automatically (a coordinator's /healthz
+// reports shard counts). -shard-http is required for a cluster target:
+// the exactness barrier flushes every shard, and throughput/drop
+// figures come from the shards' own metrics. innetload exits nonzero
+// if any exactness checkpoint fails to match the baseline.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"innet/internal/loadgen"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "innetload:", err)
+		os.Exit(1)
+	}
+}
+
+type options struct {
+	scenario  string
+	httpURL   string
+	udpAddr   string
+	shardHTTP string
+	out       string
+	verbose   bool
+}
+
+func parseFlags(args []string) (options, error) {
+	fs := flag.NewFlagSet("innetload", flag.ContinueOnError)
+	var o options
+	fs.StringVar(&o.scenario, "scenario", "", "scenario JSON file (required)")
+	fs.StringVar(&o.httpURL, "http", "http://127.0.0.1:8080", "target HTTP base URL (innetd or innet-coord)")
+	fs.StringVar(&o.udpAddr, "udp", "127.0.0.1:9000", "target UDP line-protocol address")
+	fs.StringVar(&o.shardHTTP, "shard-http", "", "comma-separated shard innetd HTTP base URLs (cluster targets)")
+	fs.StringVar(&o.out, "out", ".", "directory the BENCH artifact is written to")
+	fs.BoolVar(&o.verbose, "v", false, "log per-segment progress")
+	if err := fs.Parse(args); err != nil {
+		return o, err
+	}
+	if o.scenario == "" {
+		return o, errors.New("-scenario is required")
+	}
+	return o, nil
+}
+
+func run(args []string) error {
+	o, err := parseFlags(args)
+	if err != nil {
+		return err
+	}
+	sc, err := loadgen.Load(o.scenario)
+	if err != nil {
+		return err
+	}
+
+	var shards []string
+	if o.shardHTTP != "" {
+		for _, s := range strings.Split(o.shardHTTP, ",") {
+			if s = strings.TrimSpace(s); s != "" {
+				shards = append(shards, s)
+			}
+		}
+	}
+	target, err := loadgen.DetectTarget(o.httpURL, o.udpAddr, shards)
+	if err != nil {
+		return err
+	}
+	if target.Cluster && len(shards) == 0 {
+		return errors.New("target is a cluster: -shard-http is required for the flush barrier and metrics")
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	logf := func(string, ...any) {}
+	if o.verbose {
+		logf = log.New(os.Stderr, "innetload: ", log.LstdFlags).Printf
+	}
+	logf("scenario %s: %d virtual sensors on %d attached IDs, %.0fs, cluster=%v shards=%d",
+		sc.Name, sc.Fleet.Sensors, sc.Fleet.Attached, sc.Traffic.DurationS, target.Cluster, target.Shards)
+
+	runner := &loadgen.Runner{Scenario: sc, Target: target, Logf: logf}
+	report, err := runner.Run(ctx)
+	if err != nil {
+		return err
+	}
+	path, err := report.Write(o.out)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("innetload: %s: %.0f readings observed (%.0f/s, %.0f/s/shard), drop rate %.4f, wrote %s\n",
+		sc.Name, report.Ingest.Observed, report.Ingest.ReadingsPerSec,
+		report.Ingest.ReadingsPerSecPerShard, report.Ingest.EnqueueDropRate, path)
+	for mode, mr := range report.Modes {
+		fmt.Printf("innetload: %s query latency p50=%.2fms p95=%.2fms p99=%.2fms (%d samples, %d errors)\n",
+			mode, mr.Latency.P50MS, mr.Latency.P95MS, mr.Latency.P99MS, mr.Latency.Count, mr.Latency.Errors)
+	}
+	for i, cp := range report.Checkpoints {
+		fmt.Printf("innetload: checkpoint %d: window=%d match=%v\n", i+1, cp.WindowPoints, cp.Match)
+	}
+	if !report.CheckpointsOK {
+		return errors.New("exactness checkpoint mismatch: served answers diverged from the centralized baseline")
+	}
+	return nil
+}

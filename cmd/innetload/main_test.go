@@ -1,0 +1,42 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+func TestParseFlagsRequiresScenario(t *testing.T) {
+	if _, err := parseFlags(nil); err == nil || !strings.Contains(err.Error(), "-scenario") {
+		t.Fatalf("parseFlags(nil) = %v, want missing-scenario error", err)
+	}
+}
+
+func TestParseFlagsDefaults(t *testing.T) {
+	o, err := parseFlags([]string{"-scenario", "x.json"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.httpURL != "http://127.0.0.1:8080" || o.udpAddr != "127.0.0.1:9000" || o.out != "." {
+		t.Errorf("defaults = %+v", o)
+	}
+}
+
+func TestRunRejectsMissingScenarioFile(t *testing.T) {
+	err := run([]string{"-scenario", "/nonexistent/sc.json"})
+	if err == nil {
+		t.Fatal("run with a missing scenario file succeeded")
+	}
+}
+
+func TestRunRejectsInvalidScenario(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/bad.json"
+	if err := os.WriteFile(path, []byte(`{"name":"bad"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := run([]string{"-scenario", path})
+	if err == nil || !strings.Contains(err.Error(), "sensors") {
+		t.Fatalf("run with an invalid scenario = %v, want validation error", err)
+	}
+}

@@ -13,6 +13,21 @@ import (
 	"innet/internal/protocol"
 )
 
+// maxCtlDatagram sizes the control-plane receive buffers on both ends
+// of the wire. A read that fills the buffer exactly is the kernel's
+// truncation sentinel — indistinguishable from a larger datagram cut to
+// fit — and the frame codec has no body-length field to notice the
+// missing tail, so such reads must be dropped before decoding, not
+// handed to the codec as if complete. IPv4 caps UDP payloads at 65507
+// bytes, just under this buffer, so today the sentinel cannot fire from
+// a well-formed peer; the guard is for the day a transport with bigger
+// datagrams (IPv6 jumbograms, a proxy) carries the frames.
+const maxCtlDatagram = 64 * 1024
+
+// truncatedDatagram reports whether a read of n bytes into a bufLen
+// buffer hit the kernel-truncation sentinel.
+func truncatedDatagram(n, bufLen int) bool { return n >= bufLen }
+
 // ctlClient is the coordinator's side of the shard-control wire: one UDP
 // socket multiplexing request/response exchanges with every shard,
 // correlated by the frames' reqID. UDP loses datagrams by design, so
@@ -23,6 +38,11 @@ type ctlClient struct {
 	conn *net.UDPConn
 
 	nextReq atomic.Uint32
+
+	// truncated counts datagrams dropped by the truncation sentinel;
+	// surfaced as Stats.TruncatedFrames. The bounded retries around
+	// every exchange re-request a frame lost this way.
+	truncated atomic.Uint64
 
 	mu      sync.Mutex
 	pending map[uint32]chan protocol.Frame
@@ -50,11 +70,15 @@ func newCtlClient() (*ctlClient, error) {
 
 func (c *ctlClient) readLoop() {
 	defer close(c.readerDone)
-	buf := make([]byte, 64*1024)
+	buf := make([]byte, maxCtlDatagram)
 	for {
 		n, _, err := c.conn.ReadFromUDP(buf)
 		if err != nil {
 			return // socket closed
+		}
+		if truncatedDatagram(n, len(buf)) {
+			c.truncated.Add(1)
+			continue // tail lost in the kernel; retry re-requests it
 		}
 		f, err := protocol.DecodeFrame(buf[:n])
 		if err != nil || !f.Response() {

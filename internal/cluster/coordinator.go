@@ -138,27 +138,28 @@ type sensorRoute struct {
 
 // Stats snapshots the coordinator counters for /metrics.
 type Stats struct {
-	Routed         uint64 // readings accepted by ≥1 owning shard
-	Rejected       uint64 // readings failing validation
-	Stale          uint64 // readings older than the window
-	Failed         uint64 // readings no owning shard accepted
-	Reroutes       uint64 // readings routed past a down owner
-	Frames         uint64 // READINGS frames sent
-	Merges         uint64 // estimate merges served
-	MergesDegraded uint64 // merges with ≥1 shard missing
-	MergesCompact  uint64 // merges served by the compact iterative path
-	MergeFallbacks uint64 // compact merges that fell back to full
-	MergeRounds    uint64 // compact-merge rounds driven, total
-	MergeBytes     uint64 // compact-merge point payload bytes, both directions
-	MergeFullBytes uint64 // full-path window-snapshot payload bytes received
-	Recovered      uint64 // sensors whose identity counters were recovered at startup
-	Assigns        uint64 // ASSIGN epochs acknowledged
-	HandoffSensors uint64 // sensors restored via handoff
-	HandoffPoints  uint64 // points moved via handoff
-	Flaps          uint64 // up→down transitions observed
-	ShardsUp       int
-	ShardsTotal    int
-	Sensors        int // distinct sensors routed so far
+	Routed          uint64 // readings accepted by ≥1 owning shard
+	Rejected        uint64 // readings failing validation
+	Stale           uint64 // readings older than the window
+	Failed          uint64 // readings no owning shard accepted
+	Reroutes        uint64 // readings routed past a down owner
+	Frames          uint64 // READINGS frames sent
+	Merges          uint64 // estimate merges served
+	MergesDegraded  uint64 // merges with ≥1 shard missing
+	MergesCompact   uint64 // merges served by the compact iterative path
+	MergeFallbacks  uint64 // compact merges that fell back to full
+	MergeRounds     uint64 // compact-merge rounds driven, total
+	MergeBytes      uint64 // compact-merge point payload bytes, both directions
+	MergeFullBytes  uint64 // full-path window-snapshot payload bytes received
+	Recovered       uint64 // sensors whose identity counters were recovered at startup
+	Assigns         uint64 // ASSIGN epochs acknowledged
+	HandoffSensors  uint64 // sensors restored via handoff
+	HandoffPoints   uint64 // points moved via handoff
+	Flaps           uint64 // up→down transitions observed
+	TruncatedFrames uint64 // control datagrams dropped as kernel-truncated
+	ShardsUp        int
+	ShardsTotal     int
+	Sensors         int // distinct sensors routed so far
 }
 
 // Coordinator is the cluster front door: it owns the shard map, routes
@@ -183,6 +184,10 @@ type Coordinator struct {
 	mergeFullBytes, recovered       atomic.Uint64
 	assigns, handoffSen, handoffPts atomic.Uint64
 	flaps                           atomic.Uint64
+
+	// sessionIDs mints compact-merge session IDs that cannot collide
+	// within this process; see merge.go.
+	sessionIDs *sessionIDs
 
 	ctx        context.Context
 	cancel     context.CancelFunc
@@ -224,6 +229,7 @@ func New(cfg Config) (*Coordinator, error) {
 		smap:       smap,
 		shards:     shards,
 		sensors:    make(map[core.NodeID]*sensorRoute),
+		sessionIDs: newSessionIDs(),
 		ctx:        ctx,
 		cancel:     cancel,
 		healthDone: make(chan struct{}),
@@ -355,27 +361,28 @@ func (c *Coordinator) Stats() Stats {
 	}
 	c.mu.Unlock()
 	return Stats{
-		Routed:         c.routed.Load(),
-		Rejected:       c.rejected.Load(),
-		Stale:          c.stale.Load(),
-		Failed:         c.failed.Load(),
-		Reroutes:       c.reroutes.Load(),
-		Frames:         c.frames.Load(),
-		Merges:         c.merges.Load(),
-		MergesDegraded: c.mergesDegraded.Load(),
-		MergesCompact:  c.mergesCompact.Load(),
-		MergeFallbacks: c.mergeFallbacks.Load(),
-		MergeRounds:    c.mergeRounds.Load(),
-		MergeBytes:     c.mergeBytes.Load(),
-		MergeFullBytes: c.mergeFullBytes.Load(),
-		Recovered:      c.recovered.Load(),
-		Assigns:        c.assigns.Load(),
-		HandoffSensors: c.handoffSen.Load(),
-		HandoffPoints:  c.handoffPts.Load(),
-		Flaps:          c.flaps.Load(),
-		ShardsUp:       up,
-		ShardsTotal:    total,
-		Sensors:        sensors,
+		Routed:          c.routed.Load(),
+		Rejected:        c.rejected.Load(),
+		Stale:           c.stale.Load(),
+		Failed:          c.failed.Load(),
+		Reroutes:        c.reroutes.Load(),
+		Frames:          c.frames.Load(),
+		Merges:          c.merges.Load(),
+		MergesDegraded:  c.mergesDegraded.Load(),
+		MergesCompact:   c.mergesCompact.Load(),
+		MergeFallbacks:  c.mergeFallbacks.Load(),
+		MergeRounds:     c.mergeRounds.Load(),
+		MergeBytes:      c.mergeBytes.Load(),
+		MergeFullBytes:  c.mergeFullBytes.Load(),
+		Recovered:       c.recovered.Load(),
+		Assigns:         c.assigns.Load(),
+		HandoffSensors:  c.handoffSen.Load(),
+		HandoffPoints:   c.handoffPts.Load(),
+		Flaps:           c.flaps.Load(),
+		TruncatedFrames: c.client.truncated.Load(),
+		ShardsUp:        up,
+		ShardsTotal:     total,
+		Sensors:         sensors,
 	}
 }
 

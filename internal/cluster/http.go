@@ -29,6 +29,12 @@ type WireMergedEstimate struct {
 	MergeMode    string               `json:"merge_mode"`    // compact or full (after any fallback)
 	Rounds       int                  `json:"rounds"`        // compact rounds driven
 	PayloadBytes int                  `json:"payload_bytes"` // point payload moved for this query
+	// Window, present with ?window=1, is the point set the answer was
+	// computed over: the merged window union on the full path, the
+	// provably sufficient candidate set C on the compact path. External
+	// evaluators query ?merge=full&window=1 and recompute the answer
+	// with baseline.Compute over it.
+	Window []ingest.WireOutlier `json:"window,omitempty"`
 }
 
 // Handler returns the coordinator's HTTP API:
@@ -127,6 +133,17 @@ func (c *Coordinator) handleOutliers(w http.ResponseWriter, r *http.Request) {
 			Values: p.Value,
 		})
 	}
+	if r.URL.Query().Get("window") == "1" {
+		resp.Window = make([]ingest.WireOutlier, 0, len(res.Window))
+		for _, p := range res.Window {
+			resp.Window = append(resp.Window, ingest.WireOutlier{
+				Sensor: uint16(p.ID.Origin),
+				Seq:    p.ID.Seq,
+				AtMS:   p.Birth.Milliseconds(),
+				Values: p.Value,
+			})
+		}
+	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -197,6 +214,7 @@ func (c *Coordinator) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		{"innetcoord_handoff_sensors_total", st.HandoffSensors},
 		{"innetcoord_handoff_points_total", st.HandoffPoints},
 		{"innetcoord_shard_flaps_total", st.Flaps},
+		{"innetcoord_truncated_frames_total", st.TruncatedFrames},
 		{"innetcoord_shards_up", uint64(st.ShardsUp)},
 		{"innetcoord_shards", uint64(st.ShardsTotal)},
 		{"innetcoord_sensors", uint64(st.Sensors)},
@@ -236,8 +254,20 @@ func (c *Coordinator) ServeUDP(conn net.PacketConn) error {
 			}
 			return err
 		}
+		payload := buf[:n]
+		if n == len(buf) {
+			// Kernel-truncation sentinel: the final line may be cut
+			// mid-field and must not be parsed as a (wrong) reading.
+			// See ingest.ServeUDP, which applies the same rule.
+			c.rejected.Add(1)
+			if i := bytes.LastIndexByte(payload, '\n'); i >= 0 {
+				payload = payload[:i]
+			} else {
+				payload = nil
+			}
+		}
 		var readings []ingest.Reading
-		for _, line := range bytes.Split(buf[:n], []byte{'\n'}) {
+		for _, line := range bytes.Split(payload, []byte{'\n'}) {
 			line = bytes.TrimSpace(line)
 			if len(line) == 0 {
 				continue

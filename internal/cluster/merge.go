@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"math/rand/v2"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"innet/internal/core"
@@ -47,6 +48,26 @@ const (
 // the round budget.
 var errMergeRounds = errors.New("cluster: compact merge round budget exhausted")
 
+// sessionIDs mints compact-merge session IDs. Shards key merge state —
+// frozen snapshot link, ledger, per-round reply cache — by the
+// coordinator-chosen ID alone, so two concurrent queries that collide
+// replay each other's cached rounds and answer over each other's
+// snapshots. A bare rand.Uint64() per query makes that collision merely
+// improbable; salting a monotone counter makes it impossible within a
+// process: the salt is fixed at startup and the counter never repeats,
+// so IDs are pairwise distinct for the life of the coordinator (while
+// the salt still keeps two coordinators sharing a shard from walking
+// the same ID sequence).
+type sessionIDs struct {
+	salt uint64
+	seq  atomic.Uint64
+}
+
+func newSessionIDs() *sessionIDs { return &sessionIDs{salt: rand.Uint64()} }
+
+// next returns an ID that never repeats for this generator.
+func (g *sessionIDs) next() uint64 { return g.salt ^ g.seq.Add(1) }
+
 // compactResult carries what a converged compact merge learned.
 type compactResult struct {
 	outliers []core.Point
@@ -61,7 +82,7 @@ type compactResult struct {
 // the round budget is exhausted. On success the result is exact for the
 // union of the targets' windows.
 func (c *Coordinator) compactMerge(ctx context.Context, targets []*shardState) (compactResult, error) {
-	session := rand.Uint64()
+	session := c.sessionIDs.next()
 	cand := core.NewSet()
 	ledgers := make([]*core.Set, len(targets))
 	for i := range ledgers {

@@ -56,6 +56,7 @@ type ShardServer struct {
 	maxBytes int
 
 	mapVersion atomic.Uint64
+	truncated  atomic.Uint64 // datagrams dropped by the truncation sentinel
 
 	// Compact-merge state: live sessions keyed by the coordinator's
 	// session ID, plus the last snapshot's merge source keyed by a
@@ -158,6 +159,11 @@ func (s *ShardServer) Addr() string { return s.conn.LocalAddr().String() }
 // MapVersion returns the shard-map epoch last adopted via ASSIGN.
 func (s *ShardServer) MapVersion() uint64 { return s.mapVersion.Load() }
 
+// TruncatedFrames returns how many control datagrams Serve dropped
+// because they filled the receive buffer exactly — the kernel's
+// truncation sentinel; see maxCtlDatagram.
+func (s *ShardServer) TruncatedFrames() uint64 { return s.truncated.Load() }
+
 // Close stops the listener; a blocked Serve returns.
 func (s *ShardServer) Close() error {
 	s.cancel()
@@ -176,11 +182,16 @@ func (s *ShardServer) Close() error {
 // frame shed because all slots were busy.
 func (s *ShardServer) Serve() error {
 	defer s.wg.Wait()
-	buf := make([]byte, 64*1024)
+	buf := make([]byte, maxCtlDatagram)
 	for {
 		n, from, err := s.conn.ReadFromUDP(buf)
 		if err != nil {
 			return err
+		}
+		if truncatedDatagram(n, len(buf)) {
+			s.truncated.Add(1)
+			s.logf("shardctl: dropped truncated %dB datagram from %s", n, from)
+			continue // tail lost in the kernel; the peer's retry covers it
 		}
 		f, err := protocol.DecodeFrame(buf[:n])
 		if err != nil || f.Response() {

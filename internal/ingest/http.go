@@ -1,6 +1,7 @@
 package ingest
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -48,16 +49,36 @@ type WireOutlier struct {
 
 // WireEstimate is the GET /v1/outliers response body: the estimate as
 // seen by one sensor (after a quiescent exchange all sensors running the
-// global algorithm agree).
+// global algorithm agree). With ?window=1 it also carries the fleet's
+// window union — the exact dataset the estimate ranks — so an external
+// evaluator can recompute the answer it should have gotten.
 type WireEstimate struct {
 	Sensor   uint16        `json:"sensor"`
 	Outliers []WireOutlier `json:"outliers"`
+	Window   []WireOutlier `json:"window,omitempty"`
+}
+
+// wirePoints converts core points to their wire form.
+func wirePoints(pts []core.Point) []WireOutlier {
+	out := make([]WireOutlier, 0, len(pts))
+	for _, p := range pts {
+		out = append(out, WireOutlier{
+			Sensor: uint16(p.ID.Origin),
+			Seq:    p.ID.Seq,
+			AtMS:   p.Birth.Milliseconds(),
+			Values: p.Value,
+		})
+	}
+	return out
 }
 
 // Handler returns the daemon's HTTP API:
 //
 //	POST   /v1/observations   ingest a JSON batch of readings
-//	GET    /v1/outliers       current estimate (?sensor=ID, default lowest)
+//	GET    /v1/outliers       current estimate (?sensor=ID, default lowest;
+//	                          &window=1 adds the fleet's window union)
+//	POST   /v1/flush          barrier: block until ingested == observed
+//	                          and the mesh is quiescent
 //	GET    /v1/sensors        attached sensor IDs and queue depths
 //	POST   /v1/sensors/{id}   join a sensor explicitly
 //	DELETE /v1/sensors/{id}   leave (detach) a sensor
@@ -67,6 +88,7 @@ func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/observations", s.handleObservations)
 	mux.HandleFunc("GET /v1/outliers", s.handleOutliers)
+	mux.HandleFunc("POST /v1/flush", s.handleFlush)
 	mux.HandleFunc("GET /v1/sensors", s.handleSensors)
 	mux.HandleFunc("POST /v1/sensors/{id}", s.handleJoin)
 	mux.HandleFunc("DELETE /v1/sensors/{id}", s.handleLeave)
@@ -136,16 +158,37 @@ func (s *Service) handleOutliers(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, err)
 		return
 	}
-	resp := WireEstimate{Sensor: uint16(id), Outliers: make([]WireOutlier, 0, len(est))}
-	for _, p := range est {
-		resp.Outliers = append(resp.Outliers, WireOutlier{
-			Sensor: uint16(p.ID.Origin),
-			Seq:    p.ID.Seq,
-			AtMS:   p.Birth.Milliseconds(),
-			Values: p.Value,
-		})
+	resp := WireEstimate{Sensor: uint16(id), Outliers: wirePoints(est)}
+	if r.URL.Query().Get("window") == "1" {
+		win, err := s.Snapshot(r.Context())
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		resp.Window = wirePoints(win)
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleFlush blocks until every reading accepted before the call has
+// been observed and the mesh has converged — the ingestion barrier the
+// load harness's exactness checkpoints freeze the daemon with before
+// comparing its answer to the centralized baseline.
+func (s *Service) handleFlush(w http.ResponseWriter, r *http.Request) {
+	if err := s.Flush(r.Context()); err != nil {
+		status := http.StatusServiceUnavailable
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			status = http.StatusGatewayTimeout
+		}
+		writeError(w, status, err)
+		return
+	}
+	st := s.Stats()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"flushed":  true,
+		"observed": st.Observed,
+		"pending":  st.Pending,
+	})
 }
 
 func (s *Service) handleSensors(w http.ResponseWriter, _ *http.Request) {
@@ -226,6 +269,7 @@ func (s *Service) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	} {
 		fmt.Fprintf(w, "%s %d\n", m.name, m.value)
 	}
+	fmt.Fprintf(w, "innetd_readings_pending %d\n", st.Pending)
 	// Per-sensor queue state: depth now, drops since attach. The drop
 	// total above says whether shedding happened; these say where.
 	for _, sn := range s.SensorStats() {

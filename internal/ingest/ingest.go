@@ -175,6 +175,7 @@ type Stats struct {
 	Joins     uint64 // sensors attached (initial + dynamic)
 	Leaves    uint64 // sensors detached
 	Sensors   int    // currently attached sensors
+	Pending   int64  // accepted but not yet observed (0 after Flush)
 }
 
 // sensor is one attached sensor: its peer, its bounded queue, and its
@@ -408,10 +409,18 @@ func (s *Service) enqueue(sn *sensor, r Reading) error {
 		}
 	}
 	obs := core.Observation{Birth: r.At, Value: r.Values, Seq: r.Seq, Assigned: r.HasSeq}
+	// Count the reading as pending before the send, not after: once the
+	// send lands the feeder may drain and observe it at any moment, and
+	// an increment that trails the send lets a concurrent Flush read
+	// pending == 0 with this reading still queued and unobserved — an
+	// early return that breaks the barrier the exactness checkpoints
+	// (and the cluster snapshot protocol) stand on. Every exit below
+	// either sends the observation or sheds a previously-counted one, so
+	// the counter stays conserved.
+	s.pending.Add(1)
 	for {
 		select {
 		case sn.queue <- obs:
-			s.pending.Add(1)
 			s.accepted.Add(1)
 			return nil
 		default:
@@ -598,6 +607,7 @@ func (s *Service) Stats() Stats {
 		Joins:     s.joins.Load(),
 		Leaves:    s.leaves.Load(),
 		Sensors:   n,
+		Pending:   s.pending.Load(),
 	}
 }
 

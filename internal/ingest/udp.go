@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net"
 	"strconv"
+	"sync/atomic"
 	"time"
 
 	"innet/internal/core"
@@ -52,8 +53,26 @@ func (s *Service) ServeUDP(conn net.PacketConn) error {
 			}
 			return err
 		}
-		s.ingestLines(buf[:n])
+		s.ingestLines(trimTruncated(buf, n, &s.malformed))
 	}
+}
+
+// trimTruncated handles the kernel's truncation sentinel on a
+// line-protocol read: a datagram that fills the buffer exactly may have
+// lost its tail, leaving a final line cut mid-field that could still
+// parse — as the wrong reading. Drop everything past the last complete
+// line and count one malformed payload; complete lines ahead of the cut
+// are preserved, like the rest of a datagram with one corrupt line.
+func trimTruncated(buf []byte, n int, malformed *atomic.Uint64) []byte {
+	payload := buf[:n]
+	if n < len(buf) {
+		return payload
+	}
+	malformed.Add(1)
+	if i := bytes.LastIndexByte(payload, '\n'); i >= 0 {
+		return payload[:i]
+	}
+	return nil
 }
 
 // ingestLines parses one datagram's worth of line protocol.

@@ -1,0 +1,390 @@
+package loadgen
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"innet/internal/baseline"
+	"innet/internal/core"
+	"innet/internal/ingest"
+)
+
+// Target is the system under load.
+type Target struct {
+	HTTP      string   // base URL of the front door (innetd or innet-coord)
+	UDP       string   // host:port of its line-protocol listener
+	ShardHTTP []string // shard innetd HTTP bases (cluster throughput/drop scrape)
+	Cluster   bool     // true: coordinator; false: single innetd
+	Shards    int
+}
+
+// httpClient bounds every evaluator request; merge queries against a
+// loaded cluster can take a full query timeout.
+var httpClient = &http.Client{Timeout: 10 * time.Second}
+
+// DetectTarget probes httpURL and classifies it: a coordinator's
+// /healthz reports shard counts, an innetd's reports sensors only.
+func DetectTarget(httpURL, udp string, shardHTTP []string) (Target, error) {
+	resp, err := httpClient.Get(httpURL + "/healthz")
+	if err != nil {
+		return Target{}, fmt.Errorf("loadgen: probe %s: %w", httpURL, err)
+	}
+	defer resp.Body.Close()
+	var health struct {
+		ShardsTotal *int `json:"shards_total"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		return Target{}, fmt.Errorf("loadgen: probe %s: %w", httpURL, err)
+	}
+	t := Target{HTTP: httpURL, UDP: udp, ShardHTTP: shardHTTP, Shards: 1}
+	if health.ShardsTotal != nil {
+		t.Cluster = true
+		t.Shards = *health.ShardsTotal
+	}
+	return t, nil
+}
+
+// queryURL builds the outlier query for one probe mode.
+func (t Target) queryURL(mode string, window bool) string {
+	u := t.HTTP + "/v1/outliers"
+	var q []string
+	if t.Cluster && (mode == "compact" || mode == "full") {
+		q = append(q, "merge="+mode)
+	}
+	if window {
+		q = append(q, "window=1")
+	}
+	if len(q) > 0 {
+		u += "?" + strings.Join(q, "&")
+	}
+	return u
+}
+
+// outlierReply is the union of the innetd and coordinator responses.
+type outlierReply struct {
+	Outliers     []ingest.WireOutlier `json:"outliers"`
+	Window       []ingest.WireOutlier `json:"window"`
+	MergeMode    string               `json:"merge_mode"`
+	Rounds       int                  `json:"rounds"`
+	PayloadBytes int                  `json:"payload_bytes"`
+	Degraded     bool                 `json:"degraded"`
+}
+
+func getJSON(ctx context.Context, url string, into any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := httpClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("loadgen: GET %s: %s: %s", url, resp.Status, body)
+	}
+	return json.NewDecoder(resp.Body).Decode(into)
+}
+
+// scrapeMetrics fetches and parses a Prometheus-text /metrics page into
+// name → value. Labeled series are summed under their base name, so
+// innetd_sensor_queue_drops_total{sensor="7"} aggregates across the
+// fleet.
+func scrapeMetrics(ctx context.Context, base string) (map[string]float64, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/metrics", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := httpClient.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 8<<20))
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]float64)
+	for _, line := range strings.Split(string(body), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name, val, ok := strings.Cut(line, " ")
+		if !ok {
+			continue
+		}
+		if i := strings.IndexByte(name, '{'); i >= 0 {
+			name = name[:i]
+		}
+		f, err := strconv.ParseFloat(strings.TrimSpace(val), 64)
+		if err != nil {
+			continue
+		}
+		out[name] += f
+	}
+	return out, nil
+}
+
+// ingestTotals sums the ingest-side counters the throughput and drop
+// figures come from: the shards' metrics for a cluster, the daemon's
+// own for a single innetd.
+func (t Target) ingestTotals(ctx context.Context) (map[string]float64, error) {
+	bases := t.ShardHTTP
+	if !t.Cluster {
+		bases = []string{t.HTTP}
+	}
+	sum := make(map[string]float64)
+	for _, base := range bases {
+		m, err := scrapeMetrics(ctx, base)
+		if err != nil {
+			return nil, err
+		}
+		for k, v := range m {
+			sum[k] += v
+		}
+	}
+	return sum, nil
+}
+
+// prober hammers one query mode at a fixed interval, recording latency
+// and the per-query merge cost the response reports.
+type prober struct {
+	mode string
+	url  string
+
+	mu        sync.Mutex
+	latencies []float64 // milliseconds
+	errors    int
+	rounds    int
+	payload   int
+	queries   int
+}
+
+func (p *prober) run(ctx context.Context, interval time.Duration) {
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+		}
+		var reply outlierReply
+		start := time.Now()
+		err := getJSON(ctx, p.url, &reply)
+		ms := float64(time.Since(start)) / float64(time.Millisecond)
+		p.mu.Lock()
+		if err != nil {
+			if ctx.Err() != nil {
+				p.mu.Unlock()
+				return
+			}
+			p.errors++
+		} else {
+			p.latencies = append(p.latencies, ms)
+			p.queries++
+			p.rounds += reply.Rounds
+			p.payload += reply.PayloadBytes
+		}
+		p.mu.Unlock()
+	}
+}
+
+// percentile returns the pth percentile (0 < p ≤ 100) of sorted samples
+// by nearest-rank; 0 when empty.
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := int(p/100*float64(len(sorted))+0.5) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}
+
+// snapshot folds a prober's samples into the report form.
+func (p *prober) snapshot() ModeReport {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	lat := append([]float64(nil), p.latencies...)
+	sort.Float64s(lat)
+	mr := ModeReport{
+		Latency: LatencyStats{
+			Count:  len(lat),
+			Errors: p.errors,
+			P50MS:  percentile(lat, 50),
+			P95MS:  percentile(lat, 95),
+			P99MS:  percentile(lat, 99),
+		},
+	}
+	if len(lat) > 0 {
+		mr.Latency.MaxMS = lat[len(lat)-1]
+	}
+	if p.queries > 0 {
+		mr.AvgRounds = float64(p.rounds) / float64(p.queries)
+		mr.AvgPayloadBytes = float64(p.payload) / float64(p.queries)
+	}
+	if p.rounds > 0 {
+		mr.AvgPayloadBytesPerRound = float64(p.payload) / float64(p.rounds)
+	}
+	return mr
+}
+
+// barrier freezes the target's ingestion pipeline: first the in-flight
+// datagrams (poll the accepted/routed counter until it stops moving —
+// the firehose has already drained, but the kernel socket buffer and
+// the listener goroutine lag it), then the per-sensor queues and the
+// mesh (POST /v1/flush on every ingesting daemon). After barrier
+// returns, the target's windows hold exactly the readings that survived
+// the segment, and a window fetch is comparable against
+// baseline.Compute.
+func (t Target) barrier(ctx context.Context) error {
+	counter := "innetd_readings_accepted_total"
+	base := []string{t.HTTP}
+	if t.Cluster {
+		counter = "innetcoord_readings_routed_total"
+	}
+	prev := -1.0
+	for stable := 0; stable < 2; {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		m, err := scrapeMetrics(ctx, t.HTTP)
+		if err != nil {
+			return err
+		}
+		cur := m[counter]
+		if cur == prev {
+			stable++
+		} else {
+			stable, prev = 0, cur
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(150 * time.Millisecond):
+		}
+	}
+	if t.Cluster {
+		base = t.ShardHTTP
+	}
+	for _, b := range base {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, b+"/v1/flush", nil)
+		if err != nil {
+			return err
+		}
+		resp, err := httpClient.Do(req)
+		if err != nil {
+			return fmt.Errorf("loadgen: flush %s: %w", b, err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("loadgen: flush %s: %s", b, resp.Status)
+		}
+	}
+	return nil
+}
+
+// pointKey identifies a point across the wire and the local
+// recomputation.
+type pointKey struct {
+	Sensor uint16
+	Seq    uint32
+}
+
+func wireToPoints(ws []ingest.WireOutlier) []core.Point {
+	pts := make([]core.Point, 0, len(ws))
+	for _, w := range ws {
+		pts = append(pts, core.NewPoint(core.NodeID(w.Sensor), w.Seq,
+			time.Duration(w.AtMS)*time.Millisecond, w.Values...))
+	}
+	return pts
+}
+
+func keySet(ws []ingest.WireOutlier) map[pointKey]bool {
+	out := make(map[pointKey]bool, len(ws))
+	for _, w := range ws {
+		out[pointKey{w.Sensor, w.Seq}] = true
+	}
+	return out
+}
+
+// checkpoint runs one exactness checkpoint: barrier, fetch the window
+// the target computed over, recompute the answer with baseline.Compute,
+// and diff every probe mode's served answer against it.
+func (t Target) checkpoint(ctx context.Context, sc *Scenario, modes []string, atS float64) (CheckpointReport, error) {
+	cp := CheckpointReport{AtS: atS, Modes: map[string]bool{}, Match: true}
+	if err := t.barrier(ctx); err != nil {
+		return cp, err
+	}
+
+	// The window union, from the authoritative full path.
+	var full outlierReply
+	mode := "full"
+	if !t.Cluster {
+		mode = "single"
+	}
+	if err := getJSON(ctx, t.queryURL(mode, true), &full); err != nil {
+		return cp, err
+	}
+	cp.WindowPoints = len(full.Window)
+
+	// The centralized ground truth over the same window.
+	ranker, err := sc.Ranker()
+	if err != nil {
+		return cp, err
+	}
+	expected := baseline.Compute(ranker, sc.Detector.N, wireToPoints(full.Window))
+	want := make(map[pointKey]bool, len(expected))
+	for _, p := range expected {
+		want[pointKey{uint16(p.ID.Origin), p.ID.Seq}] = true
+		cp.Expected = append(cp.Expected, fmt.Sprintf("%d/%d", p.ID.Origin, p.ID.Seq))
+	}
+	sort.Strings(cp.Expected)
+
+	sameSet := func(got map[pointKey]bool) bool {
+		if len(got) != len(want) {
+			return false
+		}
+		for k := range got {
+			if !want[k] {
+				return false
+			}
+		}
+		return true
+	}
+
+	for _, m := range modes {
+		var reply outlierReply
+		if err := getJSON(ctx, t.queryURL(m, false), &reply); err != nil {
+			return cp, fmt.Errorf("loadgen: checkpoint query %s: %w", m, err)
+		}
+		ok := sameSet(keySet(reply.Outliers))
+		cp.Modes[m] = ok
+		if !ok {
+			cp.Match = false
+		}
+	}
+	// The full window fetch above already carried its own answer; hold
+	// it to the same standard even when "full" is not a probe mode.
+	if !sameSet(keySet(full.Outliers)) {
+		cp.Match = false
+		cp.Modes[mode+"(window-fetch)"] = false
+	}
+	return cp, nil
+}

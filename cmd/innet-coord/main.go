@@ -13,7 +13,13 @@
 //	            [-replicas n] [-merge compact|full] [-merge-rounds n]
 //	            [-query-timeout d] [-health-interval d]
 //	            [-ranker nn|knn|kthnn|db] [-k n] [-eps α] [-n outliers]
-//	            [-window d] [-v]
+//	            [-window d] [-data-dir dir] [-fsync] [-v]
+//
+// With -data-dir the coordinator persists its per-sensor identity
+// counters (next sequence number, newest timestamp) and recovers them
+// from its own store at startup instead of depending on shard windows
+// surviving the restart — the piece that keeps identity stamping
+// continuous through a full-cluster cold restart.
 //
 // Example (matching three `innetd -shard` processes):
 //
@@ -40,6 +46,7 @@ import (
 
 	"innet/internal/cluster"
 	"innet/internal/core"
+	"innet/internal/store"
 )
 
 func main() {
@@ -65,6 +72,8 @@ type options struct {
 	eps            float64
 	n              int
 	window         time.Duration
+	dataDir        string
+	fsync          bool
 	verbose        bool
 }
 
@@ -84,6 +93,8 @@ func parseFlags(args []string) (options, error) {
 	fs.Float64Var(&o.eps, "eps", 2, "neighborhood radius α for the db ranker")
 	fs.IntVar(&o.n, "n", 2, "number of outliers to detect")
 	fs.DurationVar(&o.window, "window", 10*time.Minute, "time-based sliding window (must match the shards)")
+	fs.StringVar(&o.dataDir, "data-dir", "", "durability directory for the identity WAL + snapshots (empty = in-memory only)")
+	fs.BoolVar(&o.fsync, "fsync", false, "fsync every WAL append batch (survives machine crashes, not just process crashes)")
 	fs.BoolVar(&o.verbose, "v", false, "log requests and fleet events")
 	if err := fs.Parse(args); err != nil {
 		return o, err
@@ -131,6 +142,7 @@ func parseShardList(spec string) ([]string, error) {
 // the bound addresses.
 type daemon struct {
 	coord   *cluster.Coordinator
+	st      *store.File // nil without -data-dir; closed last
 	httpLn  net.Listener
 	udpConn net.PacketConn
 	logf    func(format string, args ...any)
@@ -169,20 +181,35 @@ func newDaemon(o options, logf func(string, ...any)) (*daemon, error) {
 	if o.verbose {
 		cfg.Logf = logf
 	}
+	var st *store.File
+	if o.dataDir != "" {
+		if st, err = store.Open(store.Config{Dir: o.dataDir, Fsync: o.fsync}); err != nil {
+			return nil, err
+		}
+		cfg.Store = st
+	}
 	coord, err := cluster.New(cfg)
 	if err != nil {
+		if st != nil {
+			st.Close()
+		}
 		return nil, err
 	}
-	d := &daemon{coord: coord, logf: logf}
-	if d.httpLn, err = net.Listen("tcp", o.httpAddr); err != nil {
+	d := &daemon{coord: coord, st: st, logf: logf}
+	fail := func(err error) (*daemon, error) {
 		coord.Close()
+		if st != nil {
+			st.Close()
+		}
 		return nil, err
+	}
+	if d.httpLn, err = net.Listen("tcp", o.httpAddr); err != nil {
+		return fail(err)
 	}
 	if o.udpAddr != "" {
 		if d.udpConn, err = net.ListenPacket("udp", o.udpAddr); err != nil {
 			d.httpLn.Close()
-			coord.Close()
-			return nil, err
+			return fail(err)
 		}
 	}
 	return d, nil
@@ -239,6 +266,11 @@ func (d *daemon) serve(ctx context.Context, verbose bool) error {
 	}
 	if err := d.coord.Close(); err != nil && errShutdown == nil {
 		errShutdown = err
+	}
+	if d.st != nil {
+		if err := d.st.Close(); err != nil && errShutdown == nil {
+			errShutdown = err
+		}
 	}
 	d.logf("innet-coord: bye")
 	return errShutdown

@@ -10,7 +10,14 @@
 //	innetd [-http addr] [-udp addr] [-shard addr] [-merge-sessions n]
 //	       [-sensors list] [-autojoin] [-ranker nn|knn|kthnn|db] [-k n]
 //	       [-eps α] [-n outliers] [-window d] [-hop d] [-queue depth]
-//	       [-batch max] [-v]
+//	       [-batch max] [-data-dir dir] [-fsync] [-v]
+//
+// With -data-dir the daemon's sliding windows are durable: every minted
+// reading is appended to a write-ahead log under the directory, startup
+// replays the persisted windows before serving (so a restart resumes
+// with exact answers over the data it held), and periodic snapshots
+// bound the log. Without it — the default — state is purely in-memory,
+// exactly as before.
 //
 // Example:
 //
@@ -42,6 +49,7 @@ import (
 	"innet/internal/cluster"
 	"innet/internal/core"
 	"innet/internal/ingest"
+	"innet/internal/store"
 )
 
 func main() {
@@ -69,6 +77,8 @@ type options struct {
 	queue         int
 	batch         int
 	maxSensors    int
+	dataDir       string
+	fsync         bool
 	verbose       bool
 }
 
@@ -90,6 +100,8 @@ func parseFlags(args []string) (options, error) {
 	fs.IntVar(&o.queue, "queue", 256, "per-sensor ingest queue depth")
 	fs.IntVar(&o.batch, "batch", 64, "max readings coalesced into one batch-observe event")
 	fs.IntVar(&o.maxSensors, "max-sensors", 1024, "fleet size cap (joins beyond it are rejected)")
+	fs.StringVar(&o.dataDir, "data-dir", "", "durability directory for the window WAL + snapshots (empty = in-memory only)")
+	fs.BoolVar(&o.fsync, "fsync", false, "fsync every WAL append batch (survives machine crashes, not just process crashes)")
 	fs.BoolVar(&o.verbose, "v", false, "log requests and fleet changes")
 	if err := fs.Parse(args); err != nil {
 		return o, err
@@ -143,6 +155,7 @@ func parseSensorList(spec string) ([]core.NodeID, error) {
 // bound addresses.
 type daemon struct {
 	svc      *ingest.Service
+	st       *store.File // nil without -data-dir; closed last
 	httpLn   net.Listener
 	udpConn  net.PacketConn
 	shardSrv *cluster.ShardServer
@@ -156,7 +169,13 @@ func newDaemon(o options, logf func(string, ...any)) (*daemon, error) {
 	if err != nil {
 		return nil, err
 	}
-	svc, err := ingest.New(ingest.Config{
+	var st *store.File
+	if o.dataDir != "" {
+		if st, err = store.Open(store.Config{Dir: o.dataDir, Fsync: o.fsync}); err != nil {
+			return nil, err
+		}
+	}
+	cfg := ingest.Config{
 		Detector: core.Config{
 			Ranker:   ranker,
 			N:        o.n,
@@ -167,32 +186,55 @@ func newDaemon(o options, logf func(string, ...any)) (*daemon, error) {
 		MaxBatch:   o.batch,
 		AutoJoin:   o.autojoin,
 		MaxSensors: o.maxSensors,
-	})
+	}
+	if st != nil {
+		cfg.Store = st
+	}
+	svc, err := ingest.New(cfg)
 	if err != nil {
+		if st != nil {
+			st.Close()
+		}
+		return nil, err
+	}
+	fail := func(err error) (*daemon, error) {
+		svc.Close()
+		if st != nil {
+			st.Close()
+		}
 		return nil, err
 	}
 	initial, err := parseSensorList(o.sensors)
 	if err != nil {
-		svc.Close()
-		return nil, err
+		return fail(err)
 	}
 	for _, id := range initial {
 		if err := svc.Join(id); err != nil {
-			svc.Close()
-			return nil, err
+			return fail(err)
+		}
+	}
+	if st != nil {
+		// Replay the persisted windows before any listener binds, so the
+		// first request already sees the pre-restart answers.
+		warmCtx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+		restored, err := svc.Warm(warmCtx)
+		cancel()
+		if err != nil {
+			return fail(fmt.Errorf("warm replay from %s: %w", o.dataDir, err))
+		}
+		if restored > 0 {
+			logf("innetd: replayed %d records from %s", restored, o.dataDir)
 		}
 	}
 
-	d := &daemon{svc: svc, logf: logf}
+	d := &daemon{svc: svc, st: st, logf: logf}
 	if d.httpLn, err = net.Listen("tcp", o.httpAddr); err != nil {
-		svc.Close()
-		return nil, err
+		return fail(err)
 	}
 	if o.udpAddr != "" {
 		if d.udpConn, err = net.ListenPacket("udp", o.udpAddr); err != nil {
 			d.httpLn.Close()
-			svc.Close()
-			return nil, err
+			return fail(err)
 		}
 	}
 	if o.shardAddr != "" {
@@ -207,8 +249,7 @@ func newDaemon(o options, logf func(string, ...any)) (*daemon, error) {
 				d.udpConn.Close()
 			}
 			d.httpLn.Close()
-			svc.Close()
-			return nil, err
+			return fail(err)
 		}
 	}
 	return d, nil
@@ -277,8 +318,21 @@ func (d *daemon) serve(ctx context.Context, verbose bool) error {
 	if err := <-shardDone; err != nil && !errors.Is(err, net.ErrClosed) && errShutdown == nil {
 		errShutdown = err
 	}
+	if d.st != nil {
+		// Compact while the fleet is still up: the snapshot then holds
+		// exactly the final windows and identity floors, so the next
+		// start replays a minimal, duplicate-free log.
+		if err := d.svc.CompactStore(shutdownCtx); err != nil && errShutdown == nil {
+			errShutdown = err
+		}
+	}
 	if err := d.svc.Close(); err != nil && errShutdown == nil {
 		errShutdown = err
+	}
+	if d.st != nil {
+		if err := d.st.Close(); err != nil && errShutdown == nil {
+			errShutdown = err
+		}
 	}
 	d.logf("innetd: fleet drained, bye")
 	return errShutdown

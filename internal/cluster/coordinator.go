@@ -14,6 +14,7 @@ import (
 	"innet/internal/core"
 	"innet/internal/ingest"
 	"innet/internal/protocol"
+	"innet/internal/store"
 )
 
 // Coordinator errors.
@@ -77,6 +78,20 @@ type Config struct {
 	// 60000, under the UDP payload ceiling at any feature dimension.
 	MaxFrameBytes int
 
+	// Store, when set, persists the coordinator's per-sensor identity
+	// state (next sequence number, newest timestamp): every batch that
+	// advances a sensor's counters appends the new floors, and startup
+	// recovery reads them back before falling back to the shard-window
+	// fan. Nil keeps identity state purely in memory, recovered only
+	// from surviving shard windows. The Coordinator uses the store but
+	// does not own it; the caller closes it after Close.
+	Store store.Store
+
+	// IdentityCompactEvery bounds the identity WAL: after this many
+	// appended identity updates the store is compacted down to one
+	// record per sensor. Default 4096.
+	IdentityCompactEvery int
+
 	// Logf, when set, receives one line per fleet event.
 	Logf func(string, ...any)
 }
@@ -108,6 +123,9 @@ func (c *Config) applyDefaults() {
 	}
 	if c.MaxFrameBytes <= 0 {
 		c.MaxFrameBytes = defaultFrameBytes
+	}
+	if c.IdentityCompactEvery < 1 {
+		c.IdentityCompactEvery = 4096
 	}
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
@@ -152,6 +170,8 @@ type Stats struct {
 	MergeBytes      uint64 // compact-merge point payload bytes, both directions
 	MergeFullBytes  uint64 // full-path window-snapshot payload bytes received
 	Recovered       uint64 // sensors whose identity counters were recovered at startup
+	IdentitySource  string // where startup recovery got them: store, shard-fan, none
+	WALErrors       uint64 // failed identity-store appends (routing keeps going)
 	Assigns         uint64 // ASSIGN epochs acknowledged
 	HandoffSensors  uint64 // sensors restored via handoff
 	HandoffPoints   uint64 // points moved via handoff
@@ -184,6 +204,12 @@ type Coordinator struct {
 	mergeFullBytes, recovered       atomic.Uint64
 	assigns, handoffSen, handoffPts atomic.Uint64
 	flaps                           atomic.Uint64
+
+	// Identity durability (inert when cfg.Store is nil).
+	identitySource atomic.Value  // string: store, shard-fan, none
+	idsSince       atomic.Uint64 // identity updates appended since last compaction
+	idCompacting   atomic.Bool   // single-flight guard
+	walErrors      atomic.Uint64 // failed store appends
 
 	// sessionIDs mints compact-merge session IDs that cannot collide
 	// within this process; see merge.go.
@@ -242,15 +268,45 @@ func New(cfg Config) (*Coordinator, error) {
 // recoverIdentities closes the restart hole in coordinator-minted point
 // identity: per-sensor sequence counters live in coordinator memory, so
 // a coordinator restarted inside a live window used to re-mint in-window
-// PointIDs. At startup we therefore fan window-snapshot queries to every
-// configured shard and seed each sensor's counter past the largest
-// sequence observed — and its staleness clock to the newest birth — so
-// the first reading routed after a restart continues the identity
-// stream instead of colliding with it. Best-effort by design: a shard
-// that is down contributes nothing (its points either survive on a
-// replica or age out), and an empty cluster costs one probe round trip
-// per shard.
+// PointIDs. Recovery reads the coordinator's own identity store first —
+// it is authoritative (it covers sensors whose points already aged out
+// of every shard window) and does not depend on any shard being up.
+// Only without a store, or with an empty one, does it fall back to
+// fanning window-snapshot queries to every configured shard and seeding
+// each sensor's counter past the largest sequence observed — and its
+// staleness clock to the newest birth. The fallback is best-effort by
+// design: a shard that is down contributes nothing (its points either
+// survive on a replica or age out), and an empty cluster costs one probe
+// round trip per shard.
 func (c *Coordinator) recoverIdentities() {
+	c.identitySource.Store("none")
+	if c.cfg.Store != nil {
+		st, err := c.cfg.Store.Load()
+		if err != nil {
+			c.cfg.Logf("cluster: identity store load failed, falling back to shard fan: %v", err)
+		} else if len(st.Identities) > 0 {
+			c.mu.Lock()
+			for _, id := range st.Identities {
+				sr := c.sensors[id.Sensor]
+				if sr == nil {
+					sr = &sensorRoute{}
+					c.sensors[id.Sensor] = sr
+				}
+				if id.NextSeq > sr.nextSeq {
+					sr.nextSeq = id.NextSeq
+				}
+				if id.Latest > sr.latest {
+					sr.latest = id.Latest
+				}
+			}
+			n := len(c.sensors)
+			c.mu.Unlock()
+			c.recovered.Store(uint64(n))
+			c.identitySource.Store("store")
+			c.cfg.Logf("cluster: recovered identity counters for %d sensors from the identity store", n)
+			return
+		}
+	}
 	c.mu.Lock()
 	targets := make([]*shardState, 0, len(c.shards))
 	for _, st := range c.shards {
@@ -294,7 +350,56 @@ func (c *Coordinator) recoverIdentities() {
 	c.mu.Unlock()
 	if n > 0 {
 		c.recovered.Store(uint64(n))
+		c.identitySource.Store("shard-fan")
 		c.cfg.Logf("cluster: recovered identity counters for %d sensors from shard windows", n)
+		// Seed the store so the next restart recovers without shards.
+		c.persistIdentities(c.identitySnapshot())
+	}
+}
+
+// IdentitySource reports where startup recovery found the identity
+// counters: "store", "shard-fan", or "none".
+func (c *Coordinator) IdentitySource() string {
+	if s, ok := c.identitySource.Load().(string); ok {
+		return s
+	}
+	return "none"
+}
+
+// identitySnapshot copies the full per-sensor identity state.
+func (c *Coordinator) identitySnapshot() []store.Identity {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]store.Identity, 0, len(c.sensors))
+	for id, sr := range c.sensors {
+		out = append(out, store.Identity{Sensor: id, NextSeq: sr.nextSeq, Latest: sr.latest})
+	}
+	return out
+}
+
+// persistIdentities appends identity-floor updates to the store,
+// compacting in the background once the log has grown enough. Append
+// failures are counted, not fatal: routing continues, and the floors
+// land at the next successful append or compaction.
+func (c *Coordinator) persistIdentities(ids []store.Identity) {
+	if c.cfg.Store == nil || len(ids) == 0 {
+		return
+	}
+	if err := c.cfg.Store.PutIdentities(ids); err != nil {
+		c.walErrors.Add(1)
+		return
+	}
+	if c.idsSince.Add(uint64(len(ids))) >= uint64(c.cfg.IdentityCompactEvery) {
+		if !c.idCompacting.CompareAndSwap(false, true) {
+			return
+		}
+		go func() {
+			defer c.idCompacting.Store(false)
+			c.idsSince.Store(0)
+			if err := c.cfg.Store.Compact(nil, c.identitySnapshot()); err != nil {
+				c.walErrors.Add(1)
+			}
+		}()
 	}
 }
 
@@ -309,6 +414,13 @@ func (c *Coordinator) Close() error {
 	c.mu.Unlock()
 	c.cancel()
 	<-c.healthDone
+	// Leave the identity store compact: one record per sensor, no WAL
+	// suffix for the next start to replay.
+	if c.cfg.Store != nil {
+		if err := c.cfg.Store.Compact(nil, c.identitySnapshot()); err != nil {
+			c.walErrors.Add(1)
+		}
+	}
 	return c.client.close()
 }
 
@@ -375,6 +487,8 @@ func (c *Coordinator) Stats() Stats {
 		MergeBytes:      c.mergeBytes.Load(),
 		MergeFullBytes:  c.mergeFullBytes.Load(),
 		Recovered:       c.recovered.Load(),
+		IdentitySource:  c.IdentitySource(),
+		WALErrors:       c.walErrors.Load(),
 		Assigns:         c.assigns.Load(),
 		HandoffSensors:  c.handoffSen.Load(),
 		HandoffPoints:   c.handoffPts.Load(),
@@ -407,6 +521,7 @@ func (c *Coordinator) IngestBatch(rs []ingest.Reading) []error {
 	perShard := make(map[string][]core.Point)
 	perShardIdx := make(map[string][]routed)
 	accepted := make([]int, len(rs)) // owning shards that took reading i
+	var advanced map[core.NodeID]store.Identity // identity floors moved by this batch
 
 	c.mu.Lock()
 	if c.closed {
@@ -456,6 +571,12 @@ func (c *Coordinator) IngestBatch(rs []ingest.Reading) []error {
 		if seq >= sr.nextSeq {
 			sr.nextSeq = seq + 1
 		}
+		if c.cfg.Store != nil {
+			if advanced == nil {
+				advanced = make(map[core.NodeID]store.Identity)
+			}
+			advanced[r.Sensor] = store.Identity{Sensor: r.Sensor, NextSeq: sr.nextSeq, Latest: sr.latest}
+		}
 		p := core.NewPoint(r.Sensor, seq, r.At, r.Values...)
 		for _, addr := range owners {
 			perShard[addr] = append(perShard[addr], p)
@@ -463,6 +584,17 @@ func (c *Coordinator) IngestBatch(rs []ingest.Reading) []error {
 		}
 	}
 	c.mu.Unlock()
+
+	// Persist the identity floors this batch advanced BEFORE the fan-out
+	// acknowledges anything: once a shard holds a point, a restarted
+	// coordinator must never re-mint its identity.
+	if len(advanced) > 0 {
+		ids := make([]store.Identity, 0, len(advanced))
+		for _, id := range advanced {
+			ids = append(ids, id)
+		}
+		c.persistIdentities(ids)
+	}
 
 	// Phase 2: fan the per-shard batches out concurrently. A failed
 	// send only misses its ack — the health probes own the up/down

@@ -221,6 +221,24 @@ func (c *Coordinator) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	} {
 		fmt.Fprintf(w, "%s %d\n", m.name, m.value)
 	}
+	// Identity-recovery provenance: exactly one source label reads 1.
+	// The rolling-restart e2e asserts source="store" after a restart
+	// with a data dir, and the crash drills assert "shard-fan" without.
+	for _, src := range []string{"store", "shard-fan", "none"} {
+		v := 0
+		if st.IdentitySource == src {
+			v = 1
+		}
+		fmt.Fprintf(w, "innetcoord_identity_recovery_source{source=%q} %d\n", src, v)
+	}
+	if c.cfg.Store != nil {
+		sm := c.cfg.Store.Metrics()
+		fmt.Fprintf(w, "innetcoord_wal_bytes_total %d\n", sm.WALBytes)
+		fmt.Fprintf(w, "innetcoord_wal_records_total %d\n", sm.WALRecords)
+		fmt.Fprintf(w, "innetcoord_wal_fsyncs_total %d\n", sm.Fsyncs)
+		fmt.Fprintf(w, "innetcoord_wal_compactions_total %d\n", sm.Compacts)
+		fmt.Fprintf(w, "innetcoord_wal_append_errors_total %d\n", st.WALErrors)
+	}
 	for _, sh := range c.ShardInfos() {
 		up := 0
 		if sh.Up {

@@ -202,6 +202,22 @@ func (d *Detector) Stats() Stats { return d.stats }
 // Now returns the detector's current clock reading.
 func (d *Detector) Now() time.Duration { return d.now }
 
+// NextSeq returns the sequence number the next unassigned observation
+// would mint.
+func (d *Detector) NextSeq() uint32 { return d.nextSeq }
+
+// ReserveSeq raises the per-sensor sequence counter so the next
+// unassigned observation mints at least seq. A warm restart uses this to
+// restore the identity floor past points whose records already aged out
+// of the persisted window — without it, a replayed detector could
+// re-mint a PointID it issued before the restart. Lowering the counter
+// is impossible; a floor at or below the current counter is a no-op.
+func (d *Detector) ReserveSeq(seq uint32) {
+	if seq > d.nextSeq {
+		d.nextSeq = seq
+	}
+}
+
 // Neighbors returns the current immediate neighborhood Γ_i, sorted.
 func (d *Detector) Neighbors() []NodeID {
 	ids := make([]NodeID, 0, len(d.sent))

@@ -270,6 +270,17 @@ func (s *Service) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintf(w, "%s %d\n", m.name, m.value)
 	}
 	fmt.Fprintf(w, "innetd_readings_pending %d\n", st.Pending)
+	// Durability counters, emitted only when a store is attached so the
+	// e2e suites can assert their presence (and absence) by flag.
+	if sm, walErrs, replayed, ok := s.StoreMetrics(); ok {
+		fmt.Fprintf(w, "innetd_wal_bytes_total %d\n", sm.WALBytes)
+		fmt.Fprintf(w, "innetd_wal_records_total %d\n", sm.WALRecords)
+		fmt.Fprintf(w, "innetd_wal_fsyncs_total %d\n", sm.Fsyncs)
+		fmt.Fprintf(w, "innetd_wal_compactions_total %d\n", sm.Compacts)
+		fmt.Fprintf(w, "innetd_wal_truncated_bytes_total %d\n", sm.Truncated)
+		fmt.Fprintf(w, "innetd_wal_append_errors_total %d\n", walErrs)
+		fmt.Fprintf(w, "innetd_replayed_records %d\n", replayed)
+	}
 	// Per-sensor queue state: depth now, drops since attach. The drop
 	// total above says whether shedding happened; these say where.
 	for _, sn := range s.SensorStats() {

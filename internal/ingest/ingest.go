@@ -67,6 +67,7 @@ import (
 
 	"innet/internal/core"
 	"innet/internal/peer"
+	"innet/internal/store"
 )
 
 // Validation errors returned by Service.Ingest (and surfaced per reading
@@ -149,6 +150,20 @@ type Config struct {
 	// estimate global. innetd keeps the default; embedders (see
 	// examples/livenet) can shape multi-hop meshes.
 	Topology func(joining core.NodeID, existing []core.NodeID) []core.NodeID
+
+	// Store, when set, makes the fleet's windows durable: every reading
+	// a detector mints is appended to it (in detector order, with its
+	// assigned identity), and Warm replays the persisted state so a
+	// restarted daemon serves exact answers over the data it held when
+	// it went down. Nil — the default — keeps today's purely in-memory
+	// behavior. The Service uses the store but does not own it; the
+	// caller closes it after Close.
+	Store store.Store
+
+	// CompactEvery bounds WAL growth: after this many appended records
+	// the service compacts the store down to the current window union
+	// (plus identity floors) in the background. Default 8192.
+	CompactEvery int
 }
 
 func (c *Config) applyDefaults() {
@@ -160,6 +175,9 @@ func (c *Config) applyDefaults() {
 	}
 	if c.MaxSensors == 0 {
 		c.MaxSensors = 1024
+	}
+	if c.CompactEvery == 0 {
+		c.CompactEvery = 8192
 	}
 }
 
@@ -187,6 +205,7 @@ type sensor struct {
 
 	latest   atomic.Int64  // newest ingested timestamp, nanoseconds
 	drops    atomic.Uint64 // readings this sensor shed (latest-wins + leave drain)
+	nextSeq  atomic.Uint64 // 1 + highest seq minted for this sensor (0 = none); identity floor for compaction
 	stop     chan struct{}
 	feedDone chan struct{}
 	runDone  chan struct{}
@@ -205,6 +224,12 @@ type Service struct {
 	closed  bool
 
 	pending atomic.Int64 // accepted but not yet observed (Flush watches this)
+
+	// Durability state (all zero-valued and inert when cfg.Store is nil).
+	walSince   atomic.Uint64 // records appended since the last compaction
+	compacting atomic.Bool   // single-flight guard for background compaction
+	walErrors  atomic.Uint64 // failed store appends (the fleet keeps serving)
+	replayed   atomic.Uint64 // records restored by Warm
 
 	accepted, observed, batches atomic.Uint64
 	dropped, stale, malformed   atomic.Uint64
@@ -464,7 +489,16 @@ func (s *Service) feed(sn *sensor) {
 				now = o.Birth
 			}
 		}
-		err := sn.peer.ObserveBatch(s.ctx, now, batch)
+		var err error
+		if s.cfg.Store == nil {
+			err = sn.peer.ObserveBatch(s.ctx, now, batch)
+		} else {
+			var minted []core.Point
+			minted, err = sn.peer.ObserveBatchMinted(s.ctx, now, batch)
+			if err == nil {
+				s.persist(sn, minted)
+			}
+		}
 		s.pending.Add(-int64(len(batch)))
 		if err != nil {
 			return // service shutting down
@@ -472,6 +506,191 @@ func (s *Service) feed(sn *sensor) {
 		s.observed.Add(uint64(len(batch)))
 		s.batches.Add(1)
 	}
+}
+
+// persist appends one observed batch's minted points to the store and
+// triggers a background compaction when the WAL has grown enough. A
+// failed append is counted, not fatal: the fleet keeps serving from
+// memory and the gap closes at the next successful compaction.
+func (s *Service) persist(sn *sensor, minted []core.Point) {
+	if len(minted) == 0 {
+		return
+	}
+	recs := make([]store.Record, len(minted))
+	for i, p := range minted {
+		recs[i] = store.RecordOf(p)
+		for floor := sn.nextSeq.Load(); uint64(p.ID.Seq)+1 > floor; floor = sn.nextSeq.Load() {
+			if sn.nextSeq.CompareAndSwap(floor, uint64(p.ID.Seq)+1) {
+				break
+			}
+		}
+	}
+	if err := s.cfg.Store.AppendReadings(recs); err != nil {
+		s.walErrors.Add(1)
+		return
+	}
+	if s.walSince.Add(uint64(len(recs))) >= uint64(s.cfg.CompactEvery) {
+		s.compactAsync()
+	}
+}
+
+// compactAsync rewrites the store snapshot from the live window union in
+// a background goroutine, single-flight.
+func (s *Service) compactAsync() {
+	if !s.compacting.CompareAndSwap(false, true) {
+		return
+	}
+	go func() {
+		defer s.compacting.Store(false)
+		_ = s.CompactStore(s.ctx)
+	}()
+}
+
+// CompactStore snapshots the current window union and identity floors
+// into the store and truncates its WAL. It is called automatically as
+// the WAL grows; callers (Warm, tests) may also invoke it directly.
+func (s *Service) CompactStore(ctx context.Context) error {
+	if s.cfg.Store == nil {
+		return nil
+	}
+	s.walSince.Store(0)
+	pts, err := s.Snapshot(ctx)
+	if err != nil {
+		return err
+	}
+	recs := make([]store.Record, len(pts))
+	for i, p := range pts {
+		recs[i] = store.RecordOf(p)
+	}
+	s.mu.RLock()
+	ids := make([]store.Identity, 0, len(s.sensors))
+	for id, sn := range s.sensors {
+		next := sn.nextSeq.Load()
+		latest := time.Duration(sn.latest.Load())
+		if next == 0 && latest == 0 {
+			continue
+		}
+		ids = append(ids, store.Identity{Sensor: id, NextSeq: uint32(next), Latest: latest})
+	}
+	s.mu.RUnlock()
+	if err := s.cfg.Store.Compact(recs, ids); err != nil {
+		s.walErrors.Add(1)
+		return err
+	}
+	return nil
+}
+
+// Warm replays the store's persisted state into a freshly started fleet:
+// sensors are joined, surviving window records are re-ingested with
+// their original identities (per-sensor order preserved, so unassigned
+// future readings mint the same sequence numbers a never-restarted
+// process would), identity floors are reserved past aged-out points, and
+// the store is compacted down to what actually survived. It returns the
+// number of records restored. Call it once, after New and before serving
+// traffic; with no store (or an empty one) it is a no-op.
+func (s *Service) Warm(ctx context.Context) (int, error) {
+	if s.cfg.Store == nil {
+		return 0, nil
+	}
+	st, err := s.cfg.Store.Load()
+	if err != nil {
+		return 0, fmt.Errorf("ingest: warm: %w", err)
+	}
+	// Records older than their sensor's window have already been evicted
+	// everywhere; re-ingesting them would only bounce off the staleness
+	// gate (polluting the stale counter) or, worse, resurrect data the
+	// pre-crash fleet no longer held. Identity floors still cover them.
+	cutoff := make(map[core.NodeID]time.Duration)
+	if w := s.cfg.Detector.Window; w > 0 {
+		for _, r := range st.Records {
+			if c, ok := cutoff[r.Sensor]; !ok || r.Birth-w > c {
+				cutoff[r.Sensor] = r.Birth - w
+			}
+		}
+	}
+	restored := 0
+	sinceFlush := 0
+	for _, r := range st.Records {
+		if c, ok := cutoff[r.Sensor]; ok && r.Birth < c {
+			continue
+		}
+		if err := s.ensureJoined(r.Sensor); err != nil {
+			return restored, fmt.Errorf("ingest: warm: %w", err)
+		}
+		err := s.Ingest(Reading{Sensor: r.Sensor, At: r.Birth, Values: r.Values, Seq: r.Seq, HasSeq: true})
+		if err != nil {
+			return restored, fmt.Errorf("ingest: warm: replay %d#%d: %w", r.Sensor, r.Seq, err)
+		}
+		restored++
+		// Flush well below the queue depth: replay must never trip the
+		// latest-wins shedding that live bursts are allowed to.
+		if sinceFlush++; sinceFlush >= s.cfg.QueueDepth/2 {
+			if err := s.Flush(ctx); err != nil {
+				return restored, fmt.Errorf("ingest: warm: %w", err)
+			}
+			sinceFlush = 0
+		}
+	}
+	for _, id := range st.Identities {
+		if err := s.ensureJoined(id.Sensor); err != nil {
+			return restored, fmt.Errorf("ingest: warm: %w", err)
+		}
+		s.mu.RLock()
+		sn := s.sensors[id.Sensor]
+		s.mu.RUnlock()
+		if sn == nil {
+			continue // left while warming; nothing to floor
+		}
+		if err := sn.peer.ReserveSeq(ctx, id.NextSeq); err != nil {
+			return restored, fmt.Errorf("ingest: warm: %w", err)
+		}
+		for floor := sn.nextSeq.Load(); uint64(id.NextSeq) > floor; floor = sn.nextSeq.Load() {
+			if sn.nextSeq.CompareAndSwap(floor, uint64(id.NextSeq)) {
+				break
+			}
+		}
+		// Restore the staleness gate so a reading the pre-crash fleet
+		// would have rejected stays rejected after the restart.
+		for prev := sn.latest.Load(); int64(id.Latest) > prev; prev = sn.latest.Load() {
+			if sn.latest.CompareAndSwap(prev, int64(id.Latest)) {
+				break
+			}
+		}
+	}
+	if err := s.Flush(ctx); err != nil {
+		return restored, fmt.Errorf("ingest: warm: %w", err)
+	}
+	// Replay re-appended every restored record; compacting now collapses
+	// the duplication and bounds WAL growth across repeated restarts.
+	if err := s.CompactStore(ctx); err != nil {
+		return restored, fmt.Errorf("ingest: warm: %w", err)
+	}
+	s.replayed.Store(uint64(restored))
+	return restored, nil
+}
+
+// ensureJoined attaches the sensor if it is not already attached.
+func (s *Service) ensureJoined(id core.NodeID) error {
+	s.mu.RLock()
+	_, ok := s.sensors[id]
+	s.mu.RUnlock()
+	if ok {
+		return nil
+	}
+	if err := s.Join(id); err != nil && !errors.Is(err, ErrAlreadyJoined) {
+		return err
+	}
+	return nil
+}
+
+// StoreMetrics reports the durability counters: the store's own plus the
+// service-side append-failure and replay counts. ok is false when the
+// service runs without a store.
+func (s *Service) StoreMetrics() (m store.Metrics, walErrors, replayed uint64, ok bool) {
+	if s.cfg.Store == nil {
+		return store.Metrics{}, 0, 0, false
+	}
+	return s.cfg.Store.Metrics(), s.walErrors.Load(), s.replayed.Load(), true
 }
 
 // Flush blocks until every reading ingested so far has been observed by

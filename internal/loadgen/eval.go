@@ -324,12 +324,39 @@ func keySet(ws []ingest.WireOutlier) map[pointKey]bool {
 	return out
 }
 
+// getJSONRetry is getJSON with a short retry ladder: a checkpoint fetch
+// that hits a transient hiccup (connection reset during a restart drill,
+// one lost UDP merge round) must not masquerade as an exactness verdict.
+func getJSONRetry(ctx context.Context, url string, into any) error {
+	var err error
+	for attempt := 0; attempt < 3; attempt++ {
+		if attempt > 0 {
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(time.Duration(attempt) * 200 * time.Millisecond):
+			}
+		}
+		if err = getJSON(ctx, url, into); err == nil {
+			return nil
+		}
+	}
+	return err
+}
+
 // checkpoint runs one exactness checkpoint: barrier, fetch the window
 // the target computed over, recompute the answer with baseline.Compute,
 // and diff every probe mode's served answer against it.
+//
+// Failure taxonomy matters here: a fetch that errors out after retries
+// is an infrastructure failure — it is recorded in cp.FetchError and
+// returned as an error, and never folded into cp.Match, which reports
+// only genuine inexactness (a served answer that disagrees with the
+// baseline over the window the target itself handed us).
 func (t Target) checkpoint(ctx context.Context, sc *Scenario, modes []string, atS float64) (CheckpointReport, error) {
 	cp := CheckpointReport{AtS: atS, Modes: map[string]bool{}, Match: true}
 	if err := t.barrier(ctx); err != nil {
+		cp.FetchError = err.Error()
 		return cp, err
 	}
 
@@ -339,7 +366,9 @@ func (t Target) checkpoint(ctx context.Context, sc *Scenario, modes []string, at
 	if !t.Cluster {
 		mode = "single"
 	}
-	if err := getJSON(ctx, t.queryURL(mode, true), &full); err != nil {
+	if err := getJSONRetry(ctx, t.queryURL(mode, true), &full); err != nil {
+		err = fmt.Errorf("loadgen: checkpoint window fetch: %w", err)
+		cp.FetchError = err.Error()
 		return cp, err
 	}
 	cp.WindowPoints = len(full.Window)
@@ -371,8 +400,10 @@ func (t Target) checkpoint(ctx context.Context, sc *Scenario, modes []string, at
 
 	for _, m := range modes {
 		var reply outlierReply
-		if err := getJSON(ctx, t.queryURL(m, false), &reply); err != nil {
-			return cp, fmt.Errorf("loadgen: checkpoint query %s: %w", m, err)
+		if err := getJSONRetry(ctx, t.queryURL(m, false), &reply); err != nil {
+			err = fmt.Errorf("loadgen: checkpoint query %s: %w", m, err)
+			cp.FetchError = err.Error()
+			return cp, err
 		}
 		ok := sameSet(keySet(reply.Outliers))
 		cp.Modes[m] = ok

@@ -34,6 +34,12 @@ type CheckpointReport struct {
 	Expected     []string        `json:"expected"`      // baseline answer, "origin/seq" keys
 	Modes        map[string]bool `json:"modes"`         // mode → served answer matched
 	Match        bool            `json:"match"`
+	// FetchError records an infrastructure failure (a query that could
+	// not be fetched after retries) as distinct from inexactness: a
+	// checkpoint that could not read the target says nothing about
+	// whether the target's answers were exact, so Match is left true and
+	// the checkpoint surfaces as an error instead.
+	FetchError string `json:"fetch_error,omitempty"`
 }
 
 // IngestReport is the target-side view of the segment, scraped from the

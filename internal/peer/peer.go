@@ -213,6 +213,37 @@ func (p *Peer) ObserveBatch(ctx context.Context, now time.Duration, obs []core.O
 	})
 }
 
+// ObserveBatchMinted is ObserveBatch returning the points the detector
+// minted for the batch — identities included, whether assigned by the
+// caller or by the detector's own sequence counter. The ingestion layer
+// uses it when a durability store is attached: the minted points are
+// exactly what must be replayed to rebuild this window, so they are what
+// the write-ahead log records. The result rides a buffered channel for
+// the same reason Holdings does: a caller that gives up on ctx must not
+// race the event loop's late write.
+func (p *Peer) ObserveBatchMinted(ctx context.Context, now time.Duration, obs []core.Observation) ([]core.Point, error) {
+	res := make(chan []core.Point, 1)
+	err := p.do(ctx, func(d *core.Detector) *core.Outbound {
+		pts, out := d.StepObserveBatch(now, obs)
+		res <- pts
+		return out
+	})
+	if err != nil {
+		return nil, err
+	}
+	return <-res, nil
+}
+
+// ReserveSeq raises the detector's sequence floor (see
+// core.Detector.ReserveSeq); warm restarts call it after replay so
+// re-minted identities cannot collide with aged-out ones.
+func (p *Peer) ReserveSeq(ctx context.Context, seq uint32) error {
+	return p.do(ctx, func(d *core.Detector) *core.Outbound {
+		d.ReserveSeq(seq)
+		return nil
+	})
+}
+
 // AdvanceTo moves the peer's clock, evicting expired window contents.
 func (p *Peer) AdvanceTo(ctx context.Context, now time.Duration) error {
 	return p.do(ctx, func(d *core.Detector) *core.Outbound { return d.AdvanceTo(now) })

@@ -1,0 +1,156 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// writeWAL plants raw bytes as a directory's WAL, simulating the state
+// a crash left on disk.
+func writeWAL(t *testing.T, dir string, data []byte) {
+	t.Helper()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, walName), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The crash-recovery sweep: a WAL cut at EVERY byte offset of its last
+// record must recover exactly the preceding records — the longest valid
+// prefix — and keep accepting appends afterwards. This is the on-disk
+// half of the replay ≡ in-memory invariant: no torn tail may corrupt,
+// drop, or duplicate surviving data.
+func TestTornTailEveryByteOffset(t *testing.T) {
+	base := t.TempDir()
+	f := openFile(t, base, false)
+	full := []Record{
+		rec(1, 0, 1000, 1),
+		rec(2, 0, 1500, 2, 3),
+		rec(1, 1, 2000, 4),
+	}
+	if err := f.AppendReadings(full); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(base, walName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lastStart := len(data) - walRecordSize(1)
+	if wantLen := walRecordSize(1)*2 + walRecordSize(2); len(data) != wantLen {
+		t.Fatalf("wal is %d bytes, want %d — frame layout changed, update the sweep", len(data), wantLen)
+	}
+	survivors := full[:2]
+
+	for cut := lastStart; cut <= len(data); cut++ {
+		dir := filepath.Join(t.TempDir(), "d")
+		writeWAL(t, dir, data[:cut])
+		g := openFile(t, dir, false)
+
+		wantTrunc := uint64(cut - lastStart)
+		if cut == lastStart || cut == len(data) {
+			wantTrunc = 0 // clean boundary: nothing torn
+		}
+		if got := g.Metrics().Truncated; got != wantTrunc {
+			t.Errorf("cut %d: Truncated = %d, want %d", cut, got, wantTrunc)
+		}
+
+		st := mustLoad(t, g)
+		want := survivors
+		if cut == len(data) {
+			want = full
+		}
+		if !reflect.DeepEqual(st.Records, want) {
+			t.Fatalf("cut %d: Records = %+v, want %+v", cut, st.Records, want)
+		}
+
+		// Recovery is not read-only: the store must keep working.
+		if err := g.AppendReadings([]Record{rec(3, 0, 2500, 9)}); err != nil {
+			t.Fatalf("cut %d: append after recovery: %v", cut, err)
+		}
+		if err := g.Close(); err != nil {
+			t.Fatalf("cut %d: close: %v", cut, err)
+		}
+		h := openFile(t, dir, false)
+		st = mustLoad(t, h)
+		if got := len(st.Records); got != len(want)+1 {
+			t.Fatalf("cut %d: %d records after append+reopen, want %d", cut, got, len(want)+1)
+		}
+		if got := h.Metrics().Truncated; got != 0 {
+			t.Errorf("cut %d: second open truncated %d bytes — first open left a torn tail", cut, got)
+		}
+		h.Close()
+	}
+}
+
+// A CRC hit in the middle of the log ends replay there: everything from
+// the flipped frame on is discarded, the prefix survives.
+func TestMidFileCorruptionKeepsPrefix(t *testing.T) {
+	base := t.TempDir()
+	f := openFile(t, base, false)
+	f.AppendReadings([]Record{rec(1, 0, 1000, 1), rec(2, 0, 1500, 2), rec(3, 0, 2000, 3)})
+	f.Close()
+	path := filepath.Join(base, walName)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one payload byte inside the second frame.
+	data[walRecordSize(1)+10] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	g := openFile(t, base, false)
+	defer g.Close()
+	st := mustLoad(t, g)
+	want := []Record{rec(1, 0, 1000, 1)}
+	if !reflect.DeepEqual(st.Records, want) {
+		t.Errorf("Records = %+v, want %+v (prefix before the corrupt frame)", st.Records, want)
+	}
+	if got, want := g.Metrics().Truncated, uint64(2*walRecordSize(1)); got != want {
+		t.Errorf("Truncated = %d, want %d", got, want)
+	}
+}
+
+// A corrupt snapshot is treated as absent — the WAL still replays — and
+// a crash between snapshot rename and WAL truncate (snapshot AND a WAL
+// that duplicates it) loads without duplicates.
+func TestSnapshotCorruptionAndDuplicateWAL(t *testing.T) {
+	base := t.TempDir()
+	f := openFile(t, base, false)
+	recs := []Record{rec(1, 0, 1000, 1), rec(1, 1, 2000, 2)}
+	f.AppendReadings(recs)
+	f.Compact(recs, nil)
+	// Crash-between-rename-and-truncate: re-append what the snapshot
+	// already holds.
+	f.AppendReadings(recs)
+	st := mustLoad(t, f)
+	if !reflect.DeepEqual(st.Records, recs) {
+		t.Errorf("duplicate WAL suffix: Records = %+v, want %+v", st.Records, recs)
+	}
+	f.Close()
+
+	// Now corrupt the snapshot: the WAL copy must still recover the data.
+	snap := filepath.Join(base, snapName)
+	data, err := os.ReadFile(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xff
+	if err := os.WriteFile(snap, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	g := openFile(t, base, false)
+	defer g.Close()
+	st = mustLoad(t, g)
+	if !reflect.DeepEqual(st.Records, recs) {
+		t.Errorf("corrupt snapshot: Records = %+v, want %+v (from the WAL)", st.Records, recs)
+	}
+}

@@ -207,6 +207,7 @@ type Coordinator struct {
 
 	// Identity durability (inert when cfg.Store is nil).
 	identitySource atomic.Value  // string: store, shard-fan, none
+	idStoreMu      sync.Mutex    // serializes identity appends with snapshot+Compact
 	idsSince       atomic.Uint64 // identity updates appended since last compaction
 	idCompacting   atomic.Bool   // single-flight guard
 	walErrors      atomic.Uint64 // failed store appends
@@ -385,7 +386,10 @@ func (c *Coordinator) persistIdentities(ids []store.Identity) {
 	if c.cfg.Store == nil || len(ids) == 0 {
 		return
 	}
-	if err := c.cfg.Store.PutIdentities(ids); err != nil {
+	c.idStoreMu.Lock()
+	err := c.cfg.Store.PutIdentities(ids)
+	c.idStoreMu.Unlock()
+	if err != nil {
 		c.walErrors.Add(1)
 		return
 	}
@@ -395,12 +399,29 @@ func (c *Coordinator) persistIdentities(ids []store.Identity) {
 		}
 		go func() {
 			defer c.idCompacting.Store(false)
-			c.idsSince.Store(0)
-			if err := c.cfg.Store.Compact(nil, c.identitySnapshot()); err != nil {
+			if err := c.compactIdentityStore(); err != nil {
 				c.walErrors.Add(1)
+				return
 			}
+			// Reset only on success so a failed compaction retries at the
+			// very next append instead of a full IdentityCompactEvery later.
+			c.idsSince.Store(0)
 		}()
 	}
+}
+
+// compactIdentityStore snapshots the live identity floors and compacts
+// the store down to them. Snapshot and Compact happen under idStoreMu —
+// the lock PutIdentities holds — so no floor can be appended to the WAL
+// between the snapshot and the truncation: every floor a concurrent
+// IngestBatch advances is either already in c.sensors (and therefore in
+// the snapshot) or its append lands in the fresh WAL after Compact.
+// Without this, Compact could truncate away a newer floor and a crash
+// would recover the stale one, re-minting PointIDs shards already hold.
+func (c *Coordinator) compactIdentityStore() error {
+	c.idStoreMu.Lock()
+	defer c.idStoreMu.Unlock()
+	return c.cfg.Store.Compact(nil, c.identitySnapshot())
 }
 
 // Close stops the health loop and releases the control socket.
@@ -417,7 +438,7 @@ func (c *Coordinator) Close() error {
 	// Leave the identity store compact: one record per sensor, no WAL
 	// suffix for the next start to replay.
 	if c.cfg.Store != nil {
-		if err := c.cfg.Store.Compact(nil, c.identitySnapshot()); err != nil {
+		if err := c.compactIdentityStore(); err != nil {
 			c.walErrors.Add(1)
 		}
 	}

@@ -237,6 +237,7 @@ func (c *Coordinator) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintf(w, "innetcoord_wal_records_total %d\n", sm.WALRecords)
 		fmt.Fprintf(w, "innetcoord_wal_fsyncs_total %d\n", sm.Fsyncs)
 		fmt.Fprintf(w, "innetcoord_wal_compactions_total %d\n", sm.Compacts)
+		fmt.Fprintf(w, "innetcoord_snapshot_corrupt_total %d\n", sm.SnapCorrupt)
 		fmt.Fprintf(w, "innetcoord_wal_append_errors_total %d\n", st.WALErrors)
 	}
 	for _, sh := range c.ShardInfos() {

@@ -1,0 +1,91 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"innet/internal/ingest"
+	"innet/internal/store"
+)
+
+// gateStore wraps a Store and blocks inside Compact until released, so
+// the test can land an identity append at exactly the point where the
+// snapshot→truncate race used to erase it from durable state.
+type gateStore struct {
+	store.Store
+	entered chan struct{} // signaled (non-blocking) when Compact is entered
+	release chan struct{} // Compact proceeds once this is closed
+}
+
+func (g *gateStore) Compact(recs []store.Record, ids []store.Identity) error {
+	select {
+	case g.entered <- struct{}{}:
+	default:
+	}
+	<-g.release
+	return g.Store.Compact(recs, ids)
+}
+
+// An identity floor advanced while the background compaction is
+// mid-flight must survive it: compacting the identity store can never
+// leave durable state behind the floors the coordinator has already used
+// to stamp points that shards hold, or a crash would re-mint them.
+func TestIdentityCompactionKeepsConcurrentFloors(t *testing.T) {
+	sh := startShard(t, "")
+	defer sh.stop()
+
+	mem := store.NewMem()
+	gs := &gateStore{Store: mem, entered: make(chan struct{}, 1), release: make(chan struct{})}
+	coord, err := New(Config{
+		Detector:             clusterDetCfg,
+		Shards:               []string{sh.addr},
+		Store:                gs,
+		IdentityCompactEvery: 1, // every append triggers a background compaction
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+
+	// First batch mints 1#0 (floor nextSeq=1) and kicks off a compaction
+	// that snapshots that floor, then blocks inside Compact.
+	if errs := coord.IngestBatch([]ingest.Reading{{Sensor: 1, At: time.Minute, Values: []float64{20}}}); errs[0] != nil {
+		t.Fatalf("batch 1: %v", errs[0])
+	}
+	select {
+	case <-gs.entered:
+	case <-time.After(10 * time.Second):
+		t.Fatal("identity compaction never reached Compact")
+	}
+
+	// Second batch advances the floor to nextSeq=2 while the compaction
+	// is still holding its stale nextSeq=1 snapshot.
+	batchDone := make(chan error, 1)
+	go func() {
+		errs := coord.IngestBatch([]ingest.Reading{{Sensor: 1, At: 2 * time.Minute, Values: []float64{21}}})
+		batchDone <- errs[0]
+	}()
+	// Give the batch time to reach its identity append.
+	time.Sleep(100 * time.Millisecond)
+	close(gs.release)
+	if err := <-batchDone; err != nil {
+		t.Fatalf("batch 2: %v", err)
+	}
+	waitFor(t, 5*time.Second, "identity compaction to finish", func() bool {
+		return !coord.idCompacting.Load()
+	})
+
+	st, err := gs.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var next uint32
+	for _, id := range st.Identities {
+		if id.Sensor == 1 {
+			next = id.NextSeq
+		}
+	}
+	if next != 2 {
+		t.Fatalf("durable identity floor for sensor 1 is nextSeq=%d, want 2 — compaction erased a concurrently advanced floor", next)
+	}
+}

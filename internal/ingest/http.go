@@ -278,6 +278,7 @@ func (s *Service) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintf(w, "innetd_wal_fsyncs_total %d\n", sm.Fsyncs)
 		fmt.Fprintf(w, "innetd_wal_compactions_total %d\n", sm.Compacts)
 		fmt.Fprintf(w, "innetd_wal_truncated_bytes_total %d\n", sm.Truncated)
+		fmt.Fprintf(w, "innetd_snapshot_corrupt_total %d\n", sm.SnapCorrupt)
 		fmt.Fprintf(w, "innetd_wal_append_errors_total %d\n", walErrs)
 		fmt.Fprintf(w, "innetd_replayed_records %d\n", replayed)
 	}

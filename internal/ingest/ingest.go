@@ -231,6 +231,17 @@ type Service struct {
 	walErrors  atomic.Uint64 // failed store appends (the fleet keeps serving)
 	replayed   atomic.Uint64 // records restored by Warm
 
+	// appendMu serializes store appends with CompactStore's window-union
+	// snapshot → Compact sequence. While a compaction is snapshotting,
+	// concurrently persisted records are also recorded in compactTail so
+	// they can be folded into the compacted state: without that, a record
+	// appended (and acknowledged) between the snapshot and the truncation
+	// would be durably lost until the next compaction.
+	appendMu    sync.Mutex
+	compactTail []store.Record // records persisted since the in-flight snapshot began
+	tailing     bool           // a CompactStore snapshot is in flight
+	compactMu   sync.Mutex     // serializes whole CompactStore calls
+
 	accepted, observed, batches atomic.Uint64
 	dropped, stale, malformed   atomic.Uint64
 	unknown, joins, leaves      atomic.Uint64
@@ -525,7 +536,15 @@ func (s *Service) persist(sn *sensor, minted []core.Point) {
 			}
 		}
 	}
-	if err := s.cfg.Store.AppendReadings(recs); err != nil {
+	s.appendMu.Lock()
+	if s.tailing {
+		// A compaction is snapshotting: this batch may miss the snapshot,
+		// so hand it to CompactStore to fold into the compacted state.
+		s.compactTail = append(s.compactTail, recs...)
+	}
+	err := s.cfg.Store.AppendReadings(recs)
+	s.appendMu.Unlock()
+	if err != nil {
 		s.walErrors.Add(1)
 		return
 	}
@@ -549,13 +568,33 @@ func (s *Service) compactAsync() {
 // CompactStore snapshots the current window union and identity floors
 // into the store and truncates its WAL. It is called automatically as
 // the WAL grows; callers (Warm, tests) may also invoke it directly.
+//
+// Compaction must not lose records that persist() appends while the
+// snapshot is being taken: a record minted after a sensor's holdings
+// were read is absent from the snapshot, yet Compact truncates the WAL
+// frames that held it. So the snapshot window is bracketed — persist()
+// records every batch appended while it is open (compactTail), and the
+// tail is folded into the compacted state under appendMu, which also
+// blocks appends for the duration of the Compact itself. Every record
+// acknowledged before the truncation is therefore either in the window
+// snapshot or in the tail; duplicates collapse at Load (records carry
+// their identities).
 func (s *Service) CompactStore(ctx context.Context) error {
 	if s.cfg.Store == nil {
 		return nil
 	}
-	s.walSince.Store(0)
+	s.compactMu.Lock()
+	defer s.compactMu.Unlock()
+	s.appendMu.Lock()
+	s.compactTail = nil
+	s.tailing = true
+	s.appendMu.Unlock()
 	pts, err := s.Snapshot(ctx)
 	if err != nil {
+		s.appendMu.Lock()
+		s.compactTail = nil
+		s.tailing = false
+		s.appendMu.Unlock()
 		return err
 	}
 	recs := make([]store.Record, len(pts))
@@ -573,10 +612,19 @@ func (s *Service) CompactStore(ctx context.Context) error {
 		ids = append(ids, store.Identity{Sensor: id, NextSeq: uint32(next), Latest: latest})
 	}
 	s.mu.RUnlock()
-	if err := s.cfg.Store.Compact(recs, ids); err != nil {
+	s.appendMu.Lock()
+	recs = append(recs, s.compactTail...)
+	s.compactTail = nil
+	s.tailing = false
+	err = s.cfg.Store.Compact(recs, ids)
+	s.appendMu.Unlock()
+	if err != nil {
 		s.walErrors.Add(1)
 		return err
 	}
+	// Reset only on success so a failed compaction retries at the next
+	// append instead of a full CompactEvery later.
+	s.walSince.Store(0)
 	return nil
 }
 

@@ -135,6 +135,9 @@ func TestSnapshotCorruptionAndDuplicateWAL(t *testing.T) {
 	if !reflect.DeepEqual(st.Records, recs) {
 		t.Errorf("duplicate WAL suffix: Records = %+v, want %+v", st.Records, recs)
 	}
+	if got := f.Metrics().SnapCorrupt; got != 0 {
+		t.Errorf("SnapCorrupt = %d on a healthy snapshot, want 0", got)
+	}
 	f.Close()
 
 	// Now corrupt the snapshot: the WAL copy must still recover the data.
@@ -152,5 +155,10 @@ func TestSnapshotCorruptionAndDuplicateWAL(t *testing.T) {
 	st = mustLoad(t, g)
 	if !reflect.DeepEqual(st.Records, recs) {
 		t.Errorf("corrupt snapshot: Records = %+v, want %+v (from the WAL)", st.Records, recs)
+	}
+	// The dropped snapshot must be visible to operators, not silent: a
+	// corruption event is counted, distinguishing it from a fresh start.
+	if got := g.Metrics().SnapCorrupt; got != 1 {
+		t.Errorf("SnapCorrupt = %d after loading a corrupt snapshot, want 1", got)
 	}
 }

@@ -373,63 +373,68 @@ func syncDir(dir string) error {
 }
 
 // loadSnapshot parses snapshot.dat. A missing file is an empty state; a
-// file that fails its CRC or framing is treated as absent (the WAL
-// suffix is still replayed) — a half-written temp never gets renamed, so
-// this only happens under genuine disk corruption.
-func (f *File) loadSnapshot() (recs []Record, ids []Identity) {
+// file that exists but fails its CRC or framing is dropped (the WAL
+// suffix is still replayed) and reported as corrupt — a half-written
+// temp never gets renamed, so corruption here means the disk, not a
+// crash, damaged the file, and the caller counts it so operators can
+// tell it apart from a fresh start.
+func (f *File) loadSnapshot() (recs []Record, ids []Identity, corrupt bool) {
 	buf, err := os.ReadFile(filepath.Join(f.cfg.Dir, snapName))
-	if err != nil || len(buf) < len(snapMagic)+frameOverhead {
-		return nil, nil
+	if err != nil {
+		return nil, nil, !os.IsNotExist(err)
+	}
+	if len(buf) < len(snapMagic)+frameOverhead {
+		return nil, nil, true
 	}
 	if [8]byte(buf[:8]) != snapMagic {
-		return nil, nil
+		return nil, nil, true
 	}
 	buf = buf[8:]
 	n := binary.BigEndian.Uint32(buf)
 	if int(n)+frameOverhead != len(buf) {
-		return nil, nil
+		return nil, nil, true
 	}
 	body := buf[4 : 4+n]
 	if crc32.ChecksumIEEE(body) != binary.BigEndian.Uint32(buf[4+n:]) {
-		return nil, nil
+		return nil, nil, true
 	}
 	count := binary.BigEndian.Uint32(body)
 	body = body[4:]
 	for i := uint32(0); i < count; i++ {
 		if len(body) < 16 {
-			return nil, nil
+			return nil, nil, true
 		}
 		size := 16 + 8*int(body[15])
 		if len(body) < size {
-			return nil, nil
+			return nil, nil, true
 		}
 		rec, err := parseReadingBody(body[:size])
 		if err != nil {
-			return nil, nil
+			return nil, nil, true
 		}
 		recs = append(recs, rec)
 		body = body[size:]
 	}
 	if len(body) < 4 {
-		return nil, nil
+		return nil, nil, true
 	}
 	count = binary.BigEndian.Uint32(body)
 	body = body[4:]
 	for i := uint32(0); i < count; i++ {
 		if len(body) < 15 {
-			return nil, nil
+			return nil, nil, true
 		}
 		id, err := parseIdentityBody(body[:15])
 		if err != nil {
-			return nil, nil
+			return nil, nil, true
 		}
 		ids = append(ids, id)
 		body = body[15:]
 	}
 	if len(body) != 0 {
-		return nil, nil
+		return nil, nil, true
 	}
-	return recs, ids
+	return recs, ids, false
 }
 
 // Load implements Store: snapshot first, then the WAL suffix.
@@ -453,7 +458,10 @@ func (f *File) Load() (State, error) {
 	if _, err := f.wal.Seek(pos, io.SeekStart); err != nil {
 		return State{}, fmt.Errorf("store: %w", err)
 	}
-	recs, snapIDs := f.loadSnapshot()
+	recs, snapIDs, corrupt := f.loadSnapshot()
+	if corrupt {
+		f.metrics.SnapCorrupt++
+	}
 	ids := make(map[core.NodeID]Identity, len(snapIDs)+len(walIDs))
 	for _, id := range snapIDs {
 		mergeIdentity(ids, id)

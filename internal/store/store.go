@@ -79,11 +79,12 @@ type State struct {
 
 // Metrics counts the store's durability work for /metrics.
 type Metrics struct {
-	WALBytes   uint64 // bytes appended to the WAL
-	WALRecords uint64 // records appended to the WAL
-	Fsyncs     uint64 // fsync calls issued
-	Compacts   uint64 // snapshot rewrites
-	Truncated  uint64 // torn-tail bytes discarded at open
+	WALBytes    uint64 // bytes appended to the WAL
+	WALRecords  uint64 // records appended to the WAL
+	Fsyncs      uint64 // fsync calls issued
+	Compacts    uint64 // snapshot rewrites
+	Truncated   uint64 // torn-tail bytes discarded at open
+	SnapCorrupt uint64 // snapshot files discarded as corrupt at Load
 }
 
 // Store persists shard window records and identity state. All methods

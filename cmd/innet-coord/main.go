@@ -13,13 +13,20 @@
 //	            [-replicas n] [-merge compact|full] [-merge-rounds n]
 //	            [-query-timeout d] [-health-interval d]
 //	            [-ranker nn|knn|kthnn|db] [-k n] [-eps α] [-n outliers]
-//	            [-window d] [-data-dir dir] [-fsync] [-v]
+//	            [-window d] [-data-dir dir] [-fsync] [-debug-addr addr]
+//	            [-slow-query d] [-trace-file path] [-v]
 //
 // With -data-dir the coordinator persists its per-sensor identity
 // counters (next sequence number, newest timestamp) and recovers them
 // from its own store at startup instead of depending on shard windows
 // surviving the restart — the piece that keeps identity stamping
 // continuous through a full-cluster cold restart.
+//
+// With -debug-addr the coordinator serves the pprof suite and Go
+// runtime gauges on a separate listener. -slow-query logs merged
+// queries slower than the threshold, and -trace-file appends every
+// compact-merge session trace — the same records /debug/merges serves —
+// to a JSONL file for offline analysis.
 //
 // Example (matching three `innetd -shard` processes):
 //
@@ -46,6 +53,7 @@ import (
 
 	"innet/internal/cluster"
 	"innet/internal/core"
+	"innet/internal/obs"
 	"innet/internal/store"
 )
 
@@ -74,6 +82,9 @@ type options struct {
 	window         time.Duration
 	dataDir        string
 	fsync          bool
+	debugAddr      string
+	slowQuery      time.Duration
+	traceFile      string
 	verbose        bool
 }
 
@@ -95,6 +106,9 @@ func parseFlags(args []string) (options, error) {
 	fs.DurationVar(&o.window, "window", 10*time.Minute, "time-based sliding window (must match the shards)")
 	fs.StringVar(&o.dataDir, "data-dir", "", "durability directory for the identity WAL + snapshots (empty = in-memory only)")
 	fs.BoolVar(&o.fsync, "fsync", false, "fsync every WAL append batch (survives machine crashes, not just process crashes)")
+	fs.StringVar(&o.debugAddr, "debug-addr", "", "debug listen address for pprof + runtime metrics (empty disables)")
+	fs.DurationVar(&o.slowQuery, "slow-query", 0, "log merged queries slower than this threshold (0 disables)")
+	fs.StringVar(&o.traceFile, "trace-file", "", "append every compact-merge session trace to this file as JSONL (empty disables)")
 	fs.BoolVar(&o.verbose, "v", false, "log requests and fleet events")
 	if err := fs.Parse(args); err != nil {
 		return o, err
@@ -143,7 +157,9 @@ func parseShardList(spec string) ([]string, error) {
 type daemon struct {
 	coord   *cluster.Coordinator
 	st      *store.File // nil without -data-dir; closed last
+	traceF  *os.File    // nil without -trace-file; closed after coord
 	httpLn  net.Listener
+	debugLn net.Listener // nil without -debug-addr
 	udpConn net.PacketConn
 	logf    func(format string, args ...any)
 }
@@ -177,13 +193,25 @@ func newDaemon(o options, logf func(string, ...any)) (*daemon, error) {
 		MergeRounds:    o.mergeRounds,
 		QueryTimeout:   o.queryTimeout,
 		HealthInterval: o.healthInterval,
+		SlowQuery:      o.slowQuery,
 	}
-	if o.verbose {
+	if o.verbose || o.slowQuery > 0 {
 		cfg.Logf = logf
+	}
+	var traceF *os.File
+	if o.traceFile != "" {
+		traceF, err = os.OpenFile(o.traceFile, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, fmt.Errorf("open -trace-file: %w", err)
+		}
+		cfg.TraceSink = traceF
 	}
 	var st *store.File
 	if o.dataDir != "" {
 		if st, err = store.Open(store.Config{Dir: o.dataDir, Fsync: o.fsync}); err != nil {
+			if traceF != nil {
+				traceF.Close()
+			}
 			return nil, err
 		}
 		cfg.Store = st
@@ -193,13 +221,19 @@ func newDaemon(o options, logf func(string, ...any)) (*daemon, error) {
 		if st != nil {
 			st.Close()
 		}
+		if traceF != nil {
+			traceF.Close()
+		}
 		return nil, err
 	}
-	d := &daemon{coord: coord, st: st, logf: logf}
+	d := &daemon{coord: coord, st: st, traceF: traceF, logf: logf}
 	fail := func(err error) (*daemon, error) {
 		coord.Close()
 		if st != nil {
 			st.Close()
+		}
+		if traceF != nil {
+			traceF.Close()
 		}
 		return nil, err
 	}
@@ -208,6 +242,15 @@ func newDaemon(o options, logf func(string, ...any)) (*daemon, error) {
 	}
 	if o.udpAddr != "" {
 		if d.udpConn, err = net.ListenPacket("udp", o.udpAddr); err != nil {
+			d.httpLn.Close()
+			return fail(err)
+		}
+	}
+	if o.debugAddr != "" {
+		if d.debugLn, err = net.Listen("tcp", o.debugAddr); err != nil {
+			if d.udpConn != nil {
+				d.udpConn.Close()
+			}
 			d.httpLn.Close()
 			return fail(err)
 		}
@@ -236,6 +279,17 @@ func (d *daemon) serve(ctx context.Context, verbose bool) error {
 	httpDone := make(chan error, 1)
 	go func() { httpDone <- httpSrv.Serve(d.httpLn) }()
 
+	// The debug listener is separate from the API listener on purpose:
+	// pprof and runtime internals stay off the operator-facing port.
+	var debugSrv *http.Server
+	debugDone := make(chan error, 1)
+	if d.debugLn != nil {
+		debugSrv = &http.Server{Handler: obs.DebugMux()}
+		go func() { debugDone <- debugSrv.Serve(d.debugLn) }()
+	} else {
+		debugDone <- nil
+	}
+
 	udpDone := make(chan error, 1)
 	if d.udpConn != nil {
 		go func() { udpDone <- d.coord.ServeUDP(d.udpConn) }()
@@ -244,6 +298,9 @@ func (d *daemon) serve(ctx context.Context, verbose bool) error {
 	}
 
 	d.logf("innet-coord: http on %s", d.httpLn.Addr())
+	if d.debugLn != nil {
+		d.logf("innet-coord: debug (pprof + runtime metrics) on %s", d.debugLn.Addr())
+	}
 	if d.udpConn != nil {
 		d.logf("innet-coord: udp firehose on %s", d.udpConn.LocalAddr())
 	}
@@ -258,6 +315,14 @@ func (d *daemon) serve(ctx context.Context, verbose bool) error {
 	if err := <-httpDone; err != nil && !errors.Is(err, http.ErrServerClosed) && errShutdown == nil {
 		errShutdown = err
 	}
+	if debugSrv != nil {
+		if err := debugSrv.Shutdown(shutdownCtx); err != nil && errShutdown == nil {
+			errShutdown = err
+		}
+	}
+	if err := <-debugDone; err != nil && !errors.Is(err, http.ErrServerClosed) && errShutdown == nil {
+		errShutdown = err
+	}
 	if d.udpConn != nil {
 		d.udpConn.Close()
 	}
@@ -266,6 +331,12 @@ func (d *daemon) serve(ctx context.Context, verbose bool) error {
 	}
 	if err := d.coord.Close(); err != nil && errShutdown == nil {
 		errShutdown = err
+	}
+	if d.traceF != nil {
+		// After coord.Close: no merge can record into the sink anymore.
+		if err := d.traceF.Close(); err != nil && errShutdown == nil {
+			errShutdown = err
+		}
 	}
 	if d.st != nil {
 		if err := d.st.Close(); err != nil && errShutdown == nil {

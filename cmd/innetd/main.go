@@ -10,7 +10,8 @@
 //	innetd [-http addr] [-udp addr] [-shard addr] [-merge-sessions n]
 //	       [-sensors list] [-autojoin] [-ranker nn|knn|kthnn|db] [-k n]
 //	       [-eps α] [-n outliers] [-window d] [-hop d] [-queue depth]
-//	       [-batch max] [-data-dir dir] [-fsync] [-v]
+//	       [-batch max] [-data-dir dir] [-fsync] [-debug-addr addr]
+//	       [-slow-query d] [-v]
 //
 // With -data-dir the daemon's sliding windows are durable: every minted
 // reading is appended to a write-ahead log under the directory, startup
@@ -18,6 +19,11 @@
 // with exact answers over the data it held), and periodic snapshots
 // bound the log. Without it — the default — state is purely in-memory,
 // exactly as before.
+//
+// With -debug-addr the daemon serves the pprof suite and Go runtime
+// gauges on a separate listener, so the profiler never rides on the API
+// port. With -slow-query every GET /v1/outliers slower than the
+// threshold is logged with its query string and duration.
 //
 // Example:
 //
@@ -49,6 +55,7 @@ import (
 	"innet/internal/cluster"
 	"innet/internal/core"
 	"innet/internal/ingest"
+	"innet/internal/obs"
 	"innet/internal/store"
 )
 
@@ -79,6 +86,8 @@ type options struct {
 	maxSensors    int
 	dataDir       string
 	fsync         bool
+	debugAddr     string
+	slowQuery     time.Duration
 	verbose       bool
 }
 
@@ -102,6 +111,8 @@ func parseFlags(args []string) (options, error) {
 	fs.IntVar(&o.maxSensors, "max-sensors", 1024, "fleet size cap (joins beyond it are rejected)")
 	fs.StringVar(&o.dataDir, "data-dir", "", "durability directory for the window WAL + snapshots (empty = in-memory only)")
 	fs.BoolVar(&o.fsync, "fsync", false, "fsync every WAL append batch (survives machine crashes, not just process crashes)")
+	fs.StringVar(&o.debugAddr, "debug-addr", "", "debug listen address for pprof + runtime metrics (empty disables)")
+	fs.DurationVar(&o.slowQuery, "slow-query", 0, "log outlier queries slower than this threshold (0 disables)")
 	fs.BoolVar(&o.verbose, "v", false, "log requests and fleet changes")
 	if err := fs.Parse(args); err != nil {
 		return o, err
@@ -157,6 +168,7 @@ type daemon struct {
 	svc      *ingest.Service
 	st       *store.File // nil without -data-dir; closed last
 	httpLn   net.Listener
+	debugLn  net.Listener // nil without -debug-addr
 	udpConn  net.PacketConn
 	shardSrv *cluster.ShardServer
 	logf     func(format string, args ...any)
@@ -186,6 +198,10 @@ func newDaemon(o options, logf func(string, ...any)) (*daemon, error) {
 		MaxBatch:   o.batch,
 		AutoJoin:   o.autojoin,
 		MaxSensors: o.maxSensors,
+		SlowQuery:  o.slowQuery,
+	}
+	if o.verbose || o.slowQuery > 0 {
+		cfg.Logf = logf
 	}
 	if st != nil {
 		cfg.Store = st
@@ -252,6 +268,18 @@ func newDaemon(o options, logf func(string, ...any)) (*daemon, error) {
 			return fail(err)
 		}
 	}
+	if o.debugAddr != "" {
+		if d.debugLn, err = net.Listen("tcp", o.debugAddr); err != nil {
+			if d.shardSrv != nil {
+				d.shardSrv.Close()
+			}
+			if d.udpConn != nil {
+				d.udpConn.Close()
+			}
+			d.httpLn.Close()
+			return fail(err)
+		}
+	}
 	return d, nil
 }
 
@@ -275,6 +303,17 @@ func (d *daemon) serve(ctx context.Context, verbose bool) error {
 	httpDone := make(chan error, 1)
 	go func() { httpDone <- httpSrv.Serve(d.httpLn) }()
 
+	// The debug listener is separate from the API listener on purpose:
+	// pprof and runtime internals stay off the operator-facing port.
+	var debugSrv *http.Server
+	debugDone := make(chan error, 1)
+	if d.debugLn != nil {
+		debugSrv = &http.Server{Handler: obs.DebugMux()}
+		go func() { debugDone <- debugSrv.Serve(d.debugLn) }()
+	} else {
+		debugDone <- nil
+	}
+
 	udpDone := make(chan error, 1)
 	if d.udpConn != nil {
 		go func() { udpDone <- d.svc.ServeUDP(d.udpConn) }()
@@ -290,6 +329,9 @@ func (d *daemon) serve(ctx context.Context, verbose bool) error {
 	}
 
 	d.logf("innetd: http on %s", d.httpLn.Addr())
+	if d.debugLn != nil {
+		d.logf("innetd: debug (pprof + runtime metrics) on %s", d.debugLn.Addr())
+	}
 	if d.udpConn != nil {
 		d.logf("innetd: udp firehose on %s", d.udpConn.LocalAddr())
 	}
@@ -304,6 +346,14 @@ func (d *daemon) serve(ctx context.Context, verbose bool) error {
 	defer cancel()
 	errShutdown := httpSrv.Shutdown(shutdownCtx)
 	if err := <-httpDone; err != nil && !errors.Is(err, http.ErrServerClosed) && errShutdown == nil {
+		errShutdown = err
+	}
+	if debugSrv != nil {
+		if err := debugSrv.Shutdown(shutdownCtx); err != nil && errShutdown == nil {
+			errShutdown = err
+		}
+	}
+	if err := <-debugDone; err != nil && !errors.Is(err, http.ErrServerClosed) && errShutdown == nil {
 		errShutdown = err
 	}
 	if d.udpConn != nil {

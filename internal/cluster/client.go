@@ -44,6 +44,11 @@ type ctlClient struct {
 	// every exchange re-request a frame lost this way.
 	truncated atomic.Uint64
 
+	// onRTT, when set, observes each successful exchange's round trip
+	// (send to last response frame) with the request's frame kind. Set
+	// once before the first exchange; never mutated after.
+	onRTT func(kind protocol.FrameKind, d time.Duration)
+
 	mu      sync.Mutex
 	pending map[uint32]chan protocol.Frame
 	closed  bool
@@ -132,6 +137,7 @@ func (c *ctlClient) exchange(ctx context.Context, addr *net.UDPAddr, kind protoc
 	}()
 
 	frame := protocol.EncodeFrame(protocol.Frame{Kind: kind, Flags: flags, ReqID: reqID, Body: body})
+	start := time.Now()
 	if _, err := c.conn.WriteToUDP(frame, addr); err != nil {
 		return fmt.Errorf("cluster: send %v to %s: %w", kind, addr, err)
 	}
@@ -145,6 +151,12 @@ func (c *ctlClient) exchange(ctx context.Context, addr *net.UDPAddr, kind protoc
 				return err
 			}
 			if done {
+				// Only completed exchanges are observed: a timeout says
+				// nothing about the wire (the retry wrapper owns failure
+				// accounting), while a completed one is a true RTT.
+				if c.onRTT != nil {
+					c.onRTT(kind, time.Since(start))
+				}
 				return nil
 			}
 		}

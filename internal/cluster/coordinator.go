@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"slices"
 	"sort"
@@ -13,6 +14,7 @@ import (
 
 	"innet/internal/core"
 	"innet/internal/ingest"
+	"innet/internal/obs"
 	"innet/internal/protocol"
 	"innet/internal/store"
 )
@@ -94,6 +96,18 @@ type Config struct {
 
 	// Logf, when set, receives one line per fleet event.
 	Logf func(string, ...any)
+
+	// SlowQuery, when positive, logs every merged-estimate query that
+	// takes at least this long through Logf. Zero disables the log.
+	SlowQuery time.Duration
+
+	// TraceSink, when set, receives every compact-merge session trace as
+	// one JSON line (the -trace-file flag); the in-memory /debug/merges
+	// ring records them regardless.
+	TraceSink io.Writer
+
+	// TraceCapacity bounds the /debug/merges ring. Default 256.
+	TraceCapacity int
 }
 
 func (c *Config) applyDefaults() {
@@ -129,6 +143,9 @@ func (c *Config) applyDefaults() {
 	}
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
+	}
+	if c.TraceCapacity < 1 {
+		c.TraceCapacity = 256
 	}
 }
 
@@ -216,6 +233,9 @@ type Coordinator struct {
 	// within this process; see merge.go.
 	sessionIDs *sessionIDs
 
+	obs      *coordObs     // metrics registry + latency histograms, built in New
+	mergeLog *obs.MergeLog // /debug/merges ring of compact-merge session traces
+
 	ctx        context.Context
 	cancel     context.CancelFunc
 	healthDone chan struct{}
@@ -261,10 +281,28 @@ func New(cfg Config) (*Coordinator, error) {
 		cancel:     cancel,
 		healthDone: make(chan struct{}),
 	}
+	c.obs = newCoordObs(c)
+	c.mergeLog = obs.NewMergeLog(cfg.TraceCapacity)
+	if cfg.TraceSink != nil {
+		c.mergeLog.SetSink(cfg.TraceSink)
+	}
+	// Install the RPC timing hook before the first exchange — recovery
+	// below already talks to shards — so the field is never written
+	// concurrently with a read.
+	client.onRTT = c.obs.rpcObserve
+	if st, ok := cfg.Store.(interface {
+		SetTiming(func(op string, d time.Duration))
+	}); ok {
+		st.SetTiming(c.obs.storeTiming)
+	}
 	c.recoverIdentities()
 	go c.healthLoop()
 	return c, nil
 }
+
+// MergeTraces returns the recorded compact-merge session traces, newest
+// first — the same view /debug/merges serves.
+func (c *Coordinator) MergeTraces() []obs.MergeTrace { return c.mergeLog.Snapshot() }
 
 // recoverIdentities closes the restart hole in coordinator-minted point
 // identity: per-sensor sequence counters live in coordinator memory, so
@@ -741,6 +779,20 @@ func (c *Coordinator) MergedEstimateMode(ctx context.Context, mode string) (Merg
 	default:
 		return MergeResult{}, fmt.Errorf("cluster: unknown merge mode %q", mode)
 	}
+	start := time.Now()
+	// finish stamps the query's service time (observed under the mode
+	// that actually served the answer) and applies the slow-query log.
+	finish := func(res MergeResult, err error) (MergeResult, error) {
+		elapsed := time.Since(start)
+		if err == nil {
+			c.obs.queryLat.With(res.Mode).Observe(elapsed.Seconds())
+		}
+		if c.cfg.SlowQuery > 0 && elapsed >= c.cfg.SlowQuery {
+			c.cfg.Logf("cluster: slow query: merge mode %q took %v (threshold %v, rounds %d, payload %dB)",
+				mode, elapsed.Round(time.Microsecond), c.cfg.SlowQuery, res.Rounds, res.PayloadBytes)
+		}
+		return res, err
+	}
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
@@ -770,6 +822,12 @@ func (c *Coordinator) MergedEstimateMode(ctx context.Context, mode string) (Merg
 	ctx, cancel := context.WithTimeout(ctx, c.cfg.QueryTimeout)
 	defer cancel()
 
+	// trace, non-nil once a compact session ran, is recorded into the
+	// /debug/merges ring — on success here, or after the fallback full
+	// path below fills in how the session ended. Pure-full queries leave
+	// no trace: the ring is the Algorithm 1 cost record.
+	var trace *obs.MergeTrace
+
 	if mode == MergeCompact {
 		// The compact path needs every target to answer every round, so
 		// give it half the query budget and keep the rest for the
@@ -779,6 +837,14 @@ func (c *Coordinator) MergedEstimateMode(ctx context.Context, mode string) (Merg
 		ccancel()
 		c.mergeRounds.Add(uint64(cres.rounds))
 		c.mergeBytes.Add(uint64(cres.payload))
+		trace = &obs.MergeTrace{
+			Session:    fmt.Sprintf("%016x", cres.session),
+			Requested:  MergeCompact,
+			Rounds:     cres.trace,
+			Quiesced:   cres.quiesced,
+			Ledgers:    cres.ledgers,
+			TotalBytes: cres.payload,
+		}
 		if err == nil {
 			res := MergeResult{
 				Outliers:     cres.outliers,
@@ -796,8 +862,14 @@ func (c *Coordinator) MergedEstimateMode(ctx context.Context, mode string) (Merg
 			if res.Degraded {
 				c.mergesDegraded.Add(1)
 			}
-			return res, nil
+			trace.Final = MergeCompact
+			trace.Degraded = res.Degraded
+			trace.Outliers = len(res.Outliers)
+			trace.DurationMS = float64(time.Since(start)) / float64(time.Millisecond)
+			c.mergeLog.Record(*trace)
+			return finish(res, nil)
 		}
+		trace.Fallback = err.Error()
 		c.mergeFallbacks.Add(1)
 		c.cfg.Logf("cluster: compact merge falling back to full after %d rounds: %v", cres.rounds, err)
 	}
@@ -850,10 +922,20 @@ func (c *Coordinator) MergedEstimateMode(ctx context.Context, mode string) (Merg
 	if res.Degraded {
 		c.mergesDegraded.Add(1)
 	}
-	if ok == 0 && total > 0 {
-		return res, errors.New("cluster: no shard answered the estimate query")
+	if trace != nil {
+		// A fallen-back compact session: record how it ended so the ring
+		// shows both the abandoned exchange and what the rescue cost.
+		trace.Final = MergeFull
+		trace.Degraded = res.Degraded
+		trace.FullBytes = bytes
+		trace.Outliers = len(res.Outliers)
+		trace.DurationMS = float64(time.Since(start)) / float64(time.Millisecond)
+		c.mergeLog.Record(*trace)
 	}
-	return res, nil
+	if ok == 0 && total > 0 {
+		return finish(res, errors.New("cluster: no shard answered the estimate query"))
+	}
+	return finish(res, nil)
 }
 
 // AddShard registers a new shard and rebalances: the map version

@@ -45,7 +45,8 @@ type WireMergedEstimate struct {
 //	POST   /v1/shards/{addr}  add a shard and rebalance
 //	DELETE /v1/shards/{addr}  drain and remove a shard
 //	GET    /healthz           liveness + shard counts
-//	GET    /metrics           counters in Prometheus text format
+//	GET    /metrics           counters + histograms in Prometheus text format
+//	GET    /debug/merges      recorded compact-merge session traces (JSON)
 func (c *Coordinator) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/observations", c.handleObservations)
@@ -55,6 +56,7 @@ func (c *Coordinator) Handler() http.Handler {
 	mux.HandleFunc("DELETE /v1/shards/{addr}", c.handleRemoveShard)
 	mux.HandleFunc("GET /healthz", c.handleHealth)
 	mux.HandleFunc("GET /metrics", c.handleMetrics)
+	mux.Handle("GET /debug/merges", c.mergeLog.Handler())
 	return mux
 }
 
@@ -189,64 +191,12 @@ func (c *Coordinator) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	})
 }
 
-func (c *Coordinator) handleMetrics(w http.ResponseWriter, _ *http.Request) {
-	st := c.Stats()
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	for _, m := range []struct {
-		name  string
-		value uint64
-	}{
-		{"innetcoord_readings_routed_total", st.Routed},
-		{"innetcoord_readings_rejected_total", st.Rejected},
-		{"innetcoord_readings_stale_total", st.Stale},
-		{"innetcoord_readings_failed_total", st.Failed},
-		{"innetcoord_readings_rerouted_total", st.Reroutes},
-		{"innetcoord_readings_frames_total", st.Frames},
-		{"innetcoord_merges_total", st.Merges},
-		{"innetcoord_merges_degraded_total", st.MergesDegraded},
-		{"innetcoord_merges_compact_total", st.MergesCompact},
-		{"innetcoord_merge_fallbacks_total", st.MergeFallbacks},
-		{"innetcoord_merge_rounds_total", st.MergeRounds},
-		{"innetcoord_merge_bytes_total", st.MergeBytes},
-		{"innetcoord_merge_full_bytes_total", st.MergeFullBytes},
-		{"innetcoord_recovered_sensors", st.Recovered},
-		{"innetcoord_assigns_total", st.Assigns},
-		{"innetcoord_handoff_sensors_total", st.HandoffSensors},
-		{"innetcoord_handoff_points_total", st.HandoffPoints},
-		{"innetcoord_shard_flaps_total", st.Flaps},
-		{"innetcoord_truncated_frames_total", st.TruncatedFrames},
-		{"innetcoord_shards_up", uint64(st.ShardsUp)},
-		{"innetcoord_shards", uint64(st.ShardsTotal)},
-		{"innetcoord_sensors", uint64(st.Sensors)},
-	} {
-		fmt.Fprintf(w, "%s %d\n", m.name, m.value)
-	}
-	// Identity-recovery provenance: exactly one source label reads 1.
-	// The rolling-restart e2e asserts source="store" after a restart
-	// with a data dir, and the crash drills assert "shard-fan" without.
-	for _, src := range []string{"store", "shard-fan", "none"} {
-		v := 0
-		if st.IdentitySource == src {
-			v = 1
-		}
-		fmt.Fprintf(w, "innetcoord_identity_recovery_source{source=%q} %d\n", src, v)
-	}
-	if c.cfg.Store != nil {
-		sm := c.cfg.Store.Metrics()
-		fmt.Fprintf(w, "innetcoord_wal_bytes_total %d\n", sm.WALBytes)
-		fmt.Fprintf(w, "innetcoord_wal_records_total %d\n", sm.WALRecords)
-		fmt.Fprintf(w, "innetcoord_wal_fsyncs_total %d\n", sm.Fsyncs)
-		fmt.Fprintf(w, "innetcoord_wal_compactions_total %d\n", sm.Compacts)
-		fmt.Fprintf(w, "innetcoord_snapshot_corrupt_total %d\n", sm.SnapCorrupt)
-		fmt.Fprintf(w, "innetcoord_wal_append_errors_total %d\n", st.WALErrors)
-	}
-	for _, sh := range c.ShardInfos() {
-		up := 0
-		if sh.Up {
-			up = 1
-		}
-		fmt.Fprintf(w, "innetcoord_shard_up{shard=%q} %d\n", sh.Addr, up)
-	}
+// handleMetrics serves the obs registry built in New: the same counter
+// and gauge series the retired hand-rolled writer printed (names, label
+// spellings, and integer formatting preserved) plus the latency
+// histograms, now with # HELP/# TYPE metadata.
+func (c *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	c.obs.reg.Handler().ServeHTTP(w, r)
 }
 
 // ServeUDP accepts the innetd line protocol ("<sensor> <at_ms> <v1>

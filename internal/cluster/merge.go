@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"innet/internal/core"
+	"innet/internal/obs"
 )
 
 // Compact cluster merge: the coordinator runs the paper's Algorithm 1
@@ -68,12 +69,21 @@ func newSessionIDs() *sessionIDs { return &sessionIDs{salt: rand.Uint64()} }
 // next returns an ID that never repeats for this generator.
 func (g *sessionIDs) next() uint64 { return g.salt ^ g.seq.Add(1) }
 
-// compactResult carries what a converged compact merge learned.
+// compactResult carries what a compact merge learned, converged or not.
+// payload and the trace account identically: the summed RoundTrace.Bytes
+// always equal payload, which is what the caller adds to
+// innetcoord_merge_bytes_total — so a /debug/merges trace's total_bytes
+// matches the counter delta its session caused.
 type compactResult struct {
+	session  uint64
 	outliers []core.Point
 	cand     *core.Set // the coordinator's accumulated candidate set C
 	rounds   int
 	payload  int // point payload bytes exchanged, both directions
+
+	trace    []obs.RoundTrace  // per-round, per-shard exchange record
+	quiesced int               // round index that moved nothing; -1 if never
+	ledgers  []obs.LedgerTrace // final per-link ledger sizes
 }
 
 // compactMerge drives one compact-merge session against the targets. It
@@ -88,7 +98,7 @@ func (c *Coordinator) compactMerge(ctx context.Context, targets []*shardState) (
 	for i := range ledgers {
 		ledgers[i] = core.NewSet()
 	}
-	res := compactResult{cand: cand}
+	res := compactResult{session: session, cand: cand, quiesced: -1}
 	// Merge exchanges are small and fast; a tighter per-attempt timeout
 	// than the big transfers use keeps a dead shard from eating the
 	// whole query budget before the fallback gets its turn.
@@ -116,11 +126,14 @@ func (c *Coordinator) compactMerge(ctx context.Context, targets []*shardState) (
 
 		// Network phase, fanned out per shard: deliver the delta in
 		// byte-budgeted LEDGER chunks, then ask for the shard's round
-		// delta. Every exchange is idempotent under retry.
+		// delta. Every exchange is idempotent under retry. A failing
+		// shard still reports the bytes it confirmed receiving — they
+		// were on the wire, so the cost accounting must include them.
 		type reply struct {
-			pts   []core.Point
-			bytes int
-			err   error
+			pts        []core.Point
+			sent, recv int
+			rtt        time.Duration
+			err        error
 		}
 		replies := make([]reply, len(targets))
 		var wg sync.WaitGroup
@@ -128,6 +141,7 @@ func (c *Coordinator) compactMerge(ctx context.Context, targets []*shardState) (
 			wg.Add(1)
 			go func(i int, st *shardState) {
 				defer wg.Done()
+				start := time.Now()
 				sent := 0
 				for _, chunk := range chunkByBytes(deltas[i], c.cfg.MaxFrameBytes) {
 					if len(chunk) == 0 {
@@ -140,7 +154,8 @@ func (c *Coordinator) compactMerge(ctx context.Context, targets []*shardState) (
 						return err
 					})
 					if err != nil {
-						replies[i] = reply{err: fmt.Errorf("ledger to %s: %w", st.addr, err)}
+						replies[i] = reply{sent: sent, rtt: time.Since(start),
+							err: fmt.Errorf("ledger to %s: %w", st.addr, err)}
 						return
 					}
 					sent += nb
@@ -153,34 +168,63 @@ func (c *Coordinator) compactMerge(ctx context.Context, targets []*shardState) (
 					return err
 				})
 				if err != nil {
-					replies[i] = reply{err: fmt.Errorf("sufficient from %s: %w", st.addr, err)}
+					replies[i] = reply{sent: sent, rtt: time.Since(start),
+						err: fmt.Errorf("sufficient from %s: %w", st.addr, err)}
 					return
 				}
-				replies[i] = reply{pts: pts, bytes: sent + nb}
+				replies[i] = reply{pts: pts, sent: sent, recv: nb, rtt: time.Since(start)}
 			}(i, st)
 		}
 		wg.Wait()
 
+		// Account the whole round — every shard's bytes, failed or not —
+		// before acting on any error, so payload and the trace cover what
+		// actually moved.
+		rt := obs.RoundTrace{Round: round, Shards: make([]obs.ShardRoundTrace, len(targets))}
+		var firstErr error
 		for i := range targets {
-			if replies[i].err != nil {
-				return res, replies[i].err
+			rep := &replies[i]
+			rt.Shards[i] = obs.ShardRoundTrace{
+				Shard:      targets[i].addr,
+				SentBytes:  rep.sent,
+				RecvBytes:  rep.recv,
+				SentPoints: len(deltas[i]),
+				RecvPoints: len(rep.pts),
+				RTTMS:      float64(rep.rtt) / float64(time.Millisecond),
 			}
-			res.payload += replies[i].bytes
+			rt.Bytes += rep.sent + rep.recv
+			res.payload += rep.sent + rep.recv
+			if rep.err != nil {
+				rt.Shards[i].Err = rep.err.Error()
+				if firstErr == nil {
+					firstErr = rep.err
+				}
+				continue
+			}
 			// The shard confirmed receipt of the whole delta: it is now
 			// part of the link's shared ledger on both ends.
 			for _, p := range deltas[i] {
 				ledgers[i].AddMinHop(p)
 			}
-			if len(replies[i].pts) > 0 {
+			if len(rep.pts) > 0 {
 				quiet = false
 			}
-			for _, p := range replies[i].pts {
+			for _, p := range rep.pts {
 				cand.AddMinHop(p)
 				ledgers[i].AddMinHop(p)
 			}
 		}
+		res.trace = append(res.trace, rt)
+		if firstErr != nil {
+			return res, firstErr
+		}
 		if quiet {
+			res.quiesced = round
 			res.outliers = core.TopN(c.cfg.Detector.Ranker, cand, c.cfg.Detector.N)
+			res.ledgers = make([]obs.LedgerTrace, len(targets))
+			for i := range targets {
+				res.ledgers[i] = obs.LedgerTrace{Shard: targets[i].addr, Points: ledgers[i].Len()}
+			}
 			return res, nil
 		}
 	}

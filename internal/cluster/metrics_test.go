@@ -1,0 +1,310 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"innet/internal/obs"
+)
+
+var (
+	metricNameRE = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	labelPairRE  = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*"$`)
+)
+
+// lintExposition validates one /metrics page against the Prometheus
+// text-format rules the obs registry promises: well-formed names and
+// labels, a HELP+TYPE header before every family's samples, contiguous
+// families, and no duplicate series.
+func lintExposition(t *testing.T, page, body string) {
+	t.Helper()
+	types := make(map[string]string) // family → declared type
+	seenSeries := make(map[string]bool)
+	doneFamilies := make(map[string]bool)
+	current := ""
+
+	family := func(name string) string {
+		for _, s := range []string{"_bucket", "_sum", "_count"} {
+			if base := strings.TrimSuffix(name, s); base != name && types[base] == "histogram" {
+				return base
+			}
+		}
+		return name
+	}
+
+	for n, line := range strings.Split(body, "\n") {
+		line = strings.TrimRight(line, "\r")
+		if line == "" {
+			continue
+		}
+		where := page + " line " + strconv.Itoa(n+1)
+		if strings.HasPrefix(line, "# HELP ") {
+			rest := strings.TrimPrefix(line, "# HELP ")
+			name, _, ok := strings.Cut(rest, " ")
+			if !ok || !metricNameRE.MatchString(name) {
+				t.Errorf("%s: malformed HELP: %q", where, line)
+			}
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			rest := strings.TrimPrefix(line, "# TYPE ")
+			name, kind, ok := strings.Cut(rest, " ")
+			if !ok || !metricNameRE.MatchString(name) {
+				t.Errorf("%s: malformed TYPE: %q", where, line)
+				continue
+			}
+			switch kind {
+			case "counter", "gauge", "histogram":
+			default:
+				t.Errorf("%s: unknown metric type %q", where, kind)
+			}
+			if _, dup := types[name]; dup {
+				t.Errorf("%s: family %s declared twice", where, name)
+			}
+			types[name] = kind
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue // other comments are legal
+		}
+
+		// Sample line: name[{labels}] value
+		name, rest := line, ""
+		var labels []string
+		if i := strings.IndexByte(line, '{'); i >= 0 {
+			j := strings.LastIndexByte(line, '}')
+			if j < i {
+				t.Errorf("%s: unbalanced braces: %q", where, line)
+				continue
+			}
+			name = line[:i]
+			labels = strings.Split(line[i+1:j], ",")
+			rest = strings.TrimSpace(line[j+1:])
+		} else {
+			var ok bool
+			if name, rest, ok = strings.Cut(line, " "); !ok {
+				t.Errorf("%s: sample without value: %q", where, line)
+				continue
+			}
+		}
+		if !metricNameRE.MatchString(name) {
+			t.Errorf("%s: bad metric name %q", where, name)
+		}
+		for _, l := range labels {
+			if !labelPairRE.MatchString(l) {
+				t.Errorf("%s: bad label pair %q", where, l)
+			}
+		}
+		if _, err := strconv.ParseFloat(strings.TrimSpace(rest), 64); err != nil {
+			t.Errorf("%s: bad sample value in %q: %v", where, line, err)
+		}
+
+		fam := family(name)
+		if _, ok := types[fam]; !ok {
+			t.Errorf("%s: series %s has no preceding # TYPE", where, name)
+		}
+		if fam != current {
+			if doneFamilies[fam] {
+				t.Errorf("%s: family %s reappears after other families (not contiguous)", where, fam)
+			}
+			if current != "" {
+				doneFamilies[current] = true
+			}
+			current = fam
+		}
+		key := name
+		if len(labels) > 0 {
+			key += "{" + strings.Join(labels, ",") + "}"
+		}
+		if seenSeries[key] {
+			t.Errorf("%s: duplicate series %s", where, key)
+		}
+		seenSeries[key] = true
+	}
+	if len(seenSeries) == 0 {
+		t.Errorf("%s: no samples at all", page)
+	}
+}
+
+// TestExpositionLint scrapes both daemons' /metrics in-process — a shard
+// innetd and a coordinator that has served a compact merge, so the
+// histogram vec children and per-shard labeled series are populated —
+// and lint-checks every line.
+func TestExpositionLint(t *testing.T) {
+	sh := startShard(t, "")
+	t.Cleanup(sh.stop)
+	coord, err := New(Config{
+		Detector:       clusterDetCfg,
+		Shards:         []string{sh.addr},
+		QueryTimeout:   15 * time.Second,
+		HealthInterval: 50 * time.Millisecond,
+		HealthMisses:   1 << 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { coord.Close() })
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	t.Cleanup(cancel)
+	rs := trace(42, sensorRange(12), 4)
+	for _, err := range coord.IngestBatch(rs) {
+		if err != nil {
+			t.Fatalf("ingest: %v", err)
+		}
+	}
+	if err := sh.svc.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := coord.MergedEstimateMode(ctx, MergeCompact); err != nil {
+		t.Fatalf("compact merge: %v", err)
+	}
+	if _, err := coord.MergedEstimateMode(ctx, MergeFull); err != nil {
+		t.Fatalf("full merge: %v", err)
+	}
+
+	coordSrv := httptest.NewServer(coord.Handler())
+	t.Cleanup(coordSrv.Close)
+	shardSrv := httptest.NewServer(sh.svc.Handler())
+	t.Cleanup(shardSrv.Close)
+
+	for _, tc := range []struct{ page, url string }{
+		{"coordinator", coordSrv.URL + "/metrics"},
+		{"shard", shardSrv.URL + "/metrics"},
+	} {
+		resp, err := http.Get(tc.url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ct := resp.Header.Get("Content-Type"); ct != obs.ContentType {
+			t.Errorf("%s: Content-Type = %q, want %q", tc.page, ct, obs.ContentType)
+		}
+		lintExposition(t, tc.page, string(raw))
+	}
+
+	// Both served modes must appear as vec children on the coordinator.
+	resp, err := http.Get(coordSrv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{
+		`innetcoord_query_latency_seconds_count{mode="compact"} 1`,
+		`innetcoord_query_latency_seconds_count{mode="full"} 1`,
+		`innetcoord_rpc_latency_seconds_bucket{op="sufficient",le=`,
+	} {
+		if !strings.Contains(string(raw), want) {
+			t.Errorf("coordinator metrics missing %q", want)
+		}
+	}
+}
+
+// TestCompactTraceBytesMatchCounter pins the acceptance invariant: the
+// newest /debug/merges trace's total_bytes (and the sum of its per-round
+// bytes) equal the innetcoord_merge_bytes_total delta its query caused.
+func TestCompactTraceBytesMatchCounter(t *testing.T) {
+	var shards []*testShard
+	var addrs []string
+	for i := 0; i < 2; i++ {
+		sh := startShard(t, "")
+		t.Cleanup(sh.stop)
+		shards = append(shards, sh)
+		addrs = append(addrs, sh.addr)
+	}
+	coord, err := New(Config{
+		Detector:       clusterDetCfg,
+		Shards:         addrs,
+		QueryTimeout:   15 * time.Second,
+		HealthInterval: 50 * time.Millisecond,
+		HealthMisses:   1 << 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { coord.Close() })
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	t.Cleanup(cancel)
+	rs := trace(7, sensorRange(16), 5)
+	for _, err := range coord.IngestBatch(rs) {
+		if err != nil {
+			t.Fatalf("ingest: %v", err)
+		}
+	}
+	for _, sh := range shards {
+		if err := sh.svc.Flush(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	before := coord.mergeBytes.Load()
+	res, err := coord.MergedEstimateMode(ctx, MergeCompact)
+	if err != nil {
+		t.Fatalf("compact merge: %v", err)
+	}
+	if res.Mode != MergeCompact {
+		t.Fatalf("merge served by %q, want compact", res.Mode)
+	}
+	delta := int(coord.mergeBytes.Load() - before)
+
+	traces := coord.MergeTraces()
+	if len(traces) == 0 {
+		t.Fatal("no merge trace recorded")
+	}
+	tr := traces[0]
+	if tr.Final != MergeCompact || tr.Fallback != "" {
+		t.Fatalf("newest trace final=%q fallback=%q, want a clean compact session", tr.Final, tr.Fallback)
+	}
+	summed := 0
+	for _, r := range tr.Rounds {
+		summed += r.Bytes
+	}
+	if summed != tr.TotalBytes {
+		t.Errorf("sum of per-round bytes = %d, trace total_bytes = %d", summed, tr.TotalBytes)
+	}
+	if tr.TotalBytes != delta {
+		t.Errorf("trace total_bytes = %d, innetcoord_merge_bytes_total delta = %d", tr.TotalBytes, delta)
+	}
+	if tr.TotalBytes != res.PayloadBytes {
+		t.Errorf("trace total_bytes = %d, MergeResult.PayloadBytes = %d", tr.TotalBytes, res.PayloadBytes)
+	}
+	if tr.Quiesced < 0 || tr.Quiesced != len(tr.Rounds)-1 {
+		t.Errorf("quiesced_round = %d with %d rounds, want the last round", tr.Quiesced, len(tr.Rounds))
+	}
+
+	// The same record must come back over /debug/merges.
+	srv := httptest.NewServer(coord.Handler())
+	t.Cleanup(srv.Close)
+	resp, err := http.Get(srv.URL + "/debug/merges")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var page struct {
+		Total  uint64           `json:"total"`
+		Merges []obs.MergeTrace `json:"merges"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&page); err != nil {
+		t.Fatal(err)
+	}
+	if page.Total == 0 || len(page.Merges) == 0 {
+		t.Fatal("/debug/merges empty after a compact query")
+	}
+	if got := page.Merges[0]; got.Session != tr.Session || got.TotalBytes != tr.TotalBytes {
+		t.Errorf("/debug/merges newest = %+v, want session %s with %d bytes", got, tr.Session, tr.TotalBytes)
+	}
+}

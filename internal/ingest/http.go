@@ -137,6 +137,15 @@ func (s *Service) handleObservations(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Service) handleOutliers(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	defer func() {
+		elapsed := time.Since(start)
+		s.obs.queryLat.Observe(elapsed.Seconds())
+		if s.cfg.SlowQuery > 0 && elapsed >= s.cfg.SlowQuery && s.cfg.Logf != nil {
+			s.cfg.Logf("slow query: GET /v1/outliers?%s took %v (threshold %v)",
+				r.URL.RawQuery, elapsed.Round(time.Microsecond), s.cfg.SlowQuery)
+		}
+	}()
 	var id core.NodeID
 	if q := r.URL.Query().Get("sensor"); q != "" {
 		n, err := strconv.ParseUint(q, 10, 16)
@@ -249,43 +258,10 @@ func (s *Service) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	})
 }
 
-func (s *Service) handleMetrics(w http.ResponseWriter, _ *http.Request) {
-	st := s.Stats()
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	for _, m := range []struct {
-		name  string
-		value uint64
-	}{
-		{"innetd_readings_accepted_total", st.Accepted},
-		{"innetd_readings_observed_total", st.Observed},
-		{"innetd_observe_batches_total", st.Batches},
-		{"innetd_readings_dropped_total", st.Dropped},
-		{"innetd_readings_stale_total", st.Stale},
-		{"innetd_readings_malformed_total", st.Malformed},
-		{"innetd_readings_unknown_sensor_total", st.Unknown},
-		{"innetd_sensor_joins_total", st.Joins},
-		{"innetd_sensor_leaves_total", st.Leaves},
-		{"innetd_sensors", uint64(st.Sensors)},
-	} {
-		fmt.Fprintf(w, "%s %d\n", m.name, m.value)
-	}
-	fmt.Fprintf(w, "innetd_readings_pending %d\n", st.Pending)
-	// Durability counters, emitted only when a store is attached so the
-	// e2e suites can assert their presence (and absence) by flag.
-	if sm, walErrs, replayed, ok := s.StoreMetrics(); ok {
-		fmt.Fprintf(w, "innetd_wal_bytes_total %d\n", sm.WALBytes)
-		fmt.Fprintf(w, "innetd_wal_records_total %d\n", sm.WALRecords)
-		fmt.Fprintf(w, "innetd_wal_fsyncs_total %d\n", sm.Fsyncs)
-		fmt.Fprintf(w, "innetd_wal_compactions_total %d\n", sm.Compacts)
-		fmt.Fprintf(w, "innetd_wal_truncated_bytes_total %d\n", sm.Truncated)
-		fmt.Fprintf(w, "innetd_snapshot_corrupt_total %d\n", sm.SnapCorrupt)
-		fmt.Fprintf(w, "innetd_wal_append_errors_total %d\n", walErrs)
-		fmt.Fprintf(w, "innetd_replayed_records %d\n", replayed)
-	}
-	// Per-sensor queue state: depth now, drops since attach. The drop
-	// total above says whether shedding happened; these say where.
-	for _, sn := range s.SensorStats() {
-		fmt.Fprintf(w, "innetd_sensor_queue_depth{sensor=%q} %d\n", strconv.Itoa(int(sn.ID)), sn.Queue)
-		fmt.Fprintf(w, "innetd_sensor_queue_drops_total{sensor=%q} %d\n", strconv.Itoa(int(sn.ID)), sn.Drops)
-	}
+// handleMetrics serves the obs registry built in New: the same counter
+// and gauge series the retired hand-rolled writer printed (names, label
+// spellings, and integer formatting preserved) plus the latency
+// histograms, now with # HELP/# TYPE metadata.
+func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.obs.reg.Handler().ServeHTTP(w, r)
 }

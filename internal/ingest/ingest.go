@@ -164,6 +164,13 @@ type Config struct {
 	// the service compacts the store down to the current window union
 	// (plus identity floors) in the background. Default 8192.
 	CompactEvery int
+
+	// SlowQuery, when positive, logs every GET /v1/outliers that takes
+	// at least this long through Logf. Zero disables the slow-query log.
+	SlowQuery time.Duration
+
+	// Logf receives the slow-query log lines; nil drops them.
+	Logf func(format string, args ...any)
 }
 
 func (c *Config) applyDefaults() {
@@ -196,12 +203,19 @@ type Stats struct {
 	Pending   int64  // accepted but not yet observed (0 after Flush)
 }
 
+// queued is one admitted observation plus its enqueue instant, so the
+// feeder can observe how long the reading waited in the queue.
+type queued struct {
+	obs core.Observation
+	enq time.Time
+}
+
 // sensor is one attached sensor: its peer, its bounded queue, and its
 // feeder goroutine's lifecycle handles.
 type sensor struct {
 	id    core.NodeID
 	peer  *peer.Peer
-	queue chan core.Observation
+	queue chan queued
 
 	latest   atomic.Int64  // newest ingested timestamp, nanoseconds
 	drops    atomic.Uint64 // readings this sensor shed (latest-wins + leave drain)
@@ -245,6 +259,8 @@ type Service struct {
 	accepted, observed, batches atomic.Uint64
 	dropped, stale, malformed   atomic.Uint64
 	unknown, joins, leaves      atomic.Uint64
+
+	obs *serviceObs // metrics registry + latency histograms, built in New
 }
 
 // New validates cfg and returns a running (but empty) service. Sensors
@@ -260,13 +276,22 @@ func New(cfg Config) (*Service, error) {
 		return nil, errors.New("ingest: QueueDepth, MaxBatch and MaxSensors must be positive")
 	}
 	ctx, cancel := context.WithCancel(context.Background())
-	return &Service{
+	s := &Service{
 		cfg:     cfg,
 		mesh:    peer.NewMesh(),
 		ctx:     ctx,
 		cancel:  cancel,
 		sensors: make(map[core.NodeID]*sensor),
-	}, nil
+	}
+	s.obs = newServiceObs(s)
+	// Stores that expose SetTiming (the file store does, the in-memory
+	// reference does not bother) feed the WAL duration histograms.
+	if st, ok := cfg.Store.(interface {
+		SetTiming(func(op string, d time.Duration))
+	}); ok {
+		st.SetTiming(s.obs.storeTiming)
+	}
+	return s, nil
 }
 
 // Join attaches a sensor: a peer on the mesh, linked to the sensors the
@@ -311,7 +336,7 @@ func (s *Service) Join(id core.NodeID) error {
 	sn := &sensor{
 		id:       id,
 		peer:     p,
-		queue:    make(chan core.Observation, s.cfg.QueueDepth),
+		queue:    make(chan queued, s.cfg.QueueDepth),
 		stop:     make(chan struct{}),
 		feedDone: make(chan struct{}),
 		runDone:  make(chan struct{}),
@@ -444,7 +469,10 @@ func (s *Service) enqueue(sn *sensor, r Reading) error {
 			break
 		}
 	}
-	obs := core.Observation{Birth: r.At, Value: r.Values, Seq: r.Seq, Assigned: r.HasSeq}
+	item := queued{
+		obs: core.Observation{Birth: r.At, Value: r.Values, Seq: r.Seq, Assigned: r.HasSeq},
+		enq: time.Now(),
+	}
 	// Count the reading as pending before the send, not after: once the
 	// send lands the feeder may drain and observe it at any moment, and
 	// an increment that trails the send lets a concurrent Flush read
@@ -456,7 +484,7 @@ func (s *Service) enqueue(sn *sensor, r Reading) error {
 	s.pending.Add(1)
 	for {
 		select {
-		case sn.queue <- obs:
+		case sn.queue <- item:
 			s.accepted.Add(1)
 			return nil
 		default:
@@ -476,7 +504,7 @@ func (s *Service) enqueue(sn *sensor, r Reading) error {
 func (s *Service) feed(sn *sensor) {
 	defer close(sn.feedDone)
 	for {
-		var first core.Observation
+		var first queued
 		select {
 		case <-s.ctx.Done():
 			return
@@ -484,12 +512,15 @@ func (s *Service) feed(sn *sensor) {
 			return
 		case first = <-sn.queue:
 		}
-		batch := append(make([]core.Observation, 0, s.cfg.MaxBatch), first)
+		drained := time.Now()
+		s.obs.queueLat.Observe(drained.Sub(first.enq).Seconds())
+		batch := append(make([]core.Observation, 0, s.cfg.MaxBatch), first.obs)
 	drain:
 		for len(batch) < s.cfg.MaxBatch {
 			select {
-			case o := <-sn.queue:
-				batch = append(batch, o)
+			case q := <-sn.queue:
+				s.obs.queueLat.Observe(drained.Sub(q.enq).Seconds())
+				batch = append(batch, q.obs)
 			default:
 				break drain
 			}
@@ -510,6 +541,7 @@ func (s *Service) feed(sn *sensor) {
 				s.persist(sn, minted)
 			}
 		}
+		s.obs.observeDur.Observe(time.Since(drained).Seconds())
 		s.pending.Add(-int64(len(batch)))
 		if err != nil {
 			return // service shutting down

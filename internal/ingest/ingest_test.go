@@ -164,8 +164,8 @@ func TestBackpressureLatestWins(t *testing.T) {
 	// The survivors are the newest readings, oldest-first.
 	for want := total - cfg.QueueDepth; want < total; want++ {
 		got := <-sn.queue
-		if got.Value[0] != float64(want) {
-			t.Fatalf("queue yielded value %v, want %d (latest-wins order)", got.Value[0], want)
+		if got.obs.Value[0] != float64(want) {
+			t.Fatalf("queue yielded value %v, want %d (latest-wins order)", got.obs.Value[0], want)
 		}
 		s.pending.Add(-1) // keep Close/Flush accounting honest
 	}

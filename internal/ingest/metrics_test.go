@@ -1,0 +1,200 @@
+package ingest
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// scrapeText fetches the service's /metrics page as text.
+func scrapeText(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(raw)
+}
+
+// sampleLines returns the non-comment lines of an exposition page.
+func sampleLines(body string) []string {
+	var out []string
+	for _, line := range strings.Split(body, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		out = append(out, line)
+	}
+	return out
+}
+
+// TestMetricsGolden pins the registry-backed /metrics page against the
+// retired hand-rolled writer: every legacy series key must still exist
+// with its legacy spelling (integer values without a decimal point,
+// %q-quoted label values), in the legacy family order, with no WAL
+// series when no store is attached — plus the histogram families this
+// layer added.
+func TestMetricsGolden(t *testing.T) {
+	cfg := testConfig()
+	cfg.AutoJoin = true
+	s, srv := startHTTP(t, cfg)
+	for _, r := range []Reading{
+		{Sensor: 1, At: at(1), Values: []float64{20.0}},
+		{Sensor: 2, At: at(1), Values: []float64{20.2}},
+		{Sensor: 1, At: at(2), Values: []float64{20.1}},
+	} {
+		if err := s.Ingest(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustFlush(t, s)
+	body := scrapeText(t, srv.URL)
+
+	// Exact lines: deterministic counters and gauges, byte for byte.
+	for _, want := range []string{
+		`innetd_readings_accepted_total 3`,
+		`innetd_readings_observed_total 3`,
+		`innetd_readings_dropped_total 0`,
+		`innetd_readings_stale_total 0`,
+		`innetd_readings_malformed_total 0`,
+		`innetd_readings_unknown_sensor_total 0`,
+		`innetd_sensor_joins_total 2`,
+		`innetd_sensor_leaves_total 0`,
+		`innetd_sensors 2`,
+		`innetd_readings_pending 0`,
+		`innetd_sensor_queue_depth{sensor="1"} 0`,
+		`innetd_sensor_queue_depth{sensor="2"} 0`,
+		`innetd_sensor_queue_drops_total{sensor="1"} 0`,
+		`innetd_sensor_queue_drops_total{sensor="2"} 0`,
+		`innetd_queue_latency_seconds_count 3`,
+	} {
+		if !strings.Contains(body, want+"\n") {
+			t.Errorf("metrics missing exact line %q in:\n%s", want, body)
+		}
+	}
+
+	// Histogram metadata for the new families.
+	for _, want := range []string{
+		"# TYPE innetd_queue_latency_seconds histogram",
+		"# TYPE innetd_observe_batch_seconds histogram",
+		"# TYPE innetd_query_latency_seconds histogram",
+		`innetd_queue_latency_seconds_bucket{le="+Inf"} 3`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+
+	// No store attached: the WAL families must be absent, exactly like
+	// the legacy writer's conditional block.
+	if strings.Contains(body, "innetd_wal_") {
+		t.Error("WAL series present without a store")
+	}
+
+	// Family order matches the legacy writer (first sample of each).
+	order := []string{
+		"innetd_readings_accepted_total",
+		"innetd_readings_observed_total",
+		"innetd_observe_batches_total",
+		"innetd_readings_dropped_total",
+		"innetd_readings_stale_total",
+		"innetd_readings_malformed_total",
+		"innetd_readings_unknown_sensor_total",
+		"innetd_sensor_joins_total",
+		"innetd_sensor_leaves_total",
+		"innetd_sensors",
+		"innetd_readings_pending",
+		"innetd_sensor_queue_depth",
+		"innetd_sensor_queue_drops_total",
+		"innetd_queue_latency_seconds",
+		"innetd_observe_batch_seconds",
+		"innetd_query_latency_seconds",
+	}
+	lines := sampleLines(body)
+	firstAt := func(name string) int {
+		for i, line := range lines {
+			if strings.HasPrefix(line, name+" ") || strings.HasPrefix(line, name+"{") ||
+				strings.HasPrefix(line, name+"_bucket") {
+				return i
+			}
+		}
+		return -1
+	}
+	prev := -1
+	for _, name := range order {
+		i := firstAt(name)
+		if i < 0 {
+			t.Errorf("family %s missing", name)
+			continue
+		}
+		if i < prev {
+			t.Errorf("family %s out of legacy order (at line %d, previous family at %d)", name, i, prev)
+		}
+		prev = i
+	}
+
+	// The query histogram only moves when a query is served.
+	if !strings.Contains(body, "innetd_query_latency_seconds_count 0") {
+		t.Error("query latency observed before any query")
+	}
+	resp, err := http.Get(srv.URL + "/v1/outliers")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if body = scrapeText(t, srv.URL); !strings.Contains(body, "innetd_query_latency_seconds_count 1") {
+		t.Error("query latency not observed after one query")
+	}
+}
+
+// A -slow-query threshold of one nanosecond flags every query. The
+// log line lands after the response is written (deferred), so poll.
+func TestSlowQueryLog(t *testing.T) {
+	var mu sync.Mutex
+	var logged []string
+	cfg := testConfig()
+	cfg.AutoJoin = true
+	cfg.SlowQuery = time.Nanosecond
+	cfg.Logf = func(format string, args ...any) {
+		mu.Lock()
+		logged = append(logged, fmt.Sprintf(format, args...))
+		mu.Unlock()
+	}
+	_, srv := startHTTP(t, cfg)
+	resp, err := http.Get(srv.URL + "/v1/outliers?sensor=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		mu.Lock()
+		n, first := len(logged), ""
+		if n > 0 {
+			first = logged[0]
+		}
+		mu.Unlock()
+		if n > 0 {
+			if !strings.Contains(first, "slow query") || !strings.Contains(first, "sensor=1") {
+				t.Fatalf("slow-query log = %q, want the query string flagged", first)
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no slow-query log line within the deadline")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"sort"
 	"strconv"
@@ -95,44 +96,254 @@ func getJSON(ctx context.Context, url string, into any) error {
 	return json.NewDecoder(resp.Body).Decode(into)
 }
 
+// scrapeBody fetches one /metrics page as text.
+func scrapeBody(ctx context.Context, base string) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/metrics", nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := httpClient.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 8<<20))
+	if err != nil {
+		return "", err
+	}
+	return string(body), nil
+}
+
 // scrapeMetrics fetches and parses a Prometheus-text /metrics page into
 // name → value. Labeled series are summed under their base name, so
 // innetd_sensor_queue_drops_total{sensor="7"} aggregates across the
 // fleet.
 func scrapeMetrics(ctx context.Context, base string) (map[string]float64, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/metrics", nil)
+	body, err := scrapeBody(ctx, base)
 	if err != nil {
 		return nil, err
 	}
-	resp, err := httpClient.Do(req)
-	if err != nil {
-		return nil, err
+	return parseExposition(body).flat, nil
+}
+
+// histogram is one scraped (or differenced) Prometheus histogram family
+// child: cumulative bucket counts keyed by upper bound, plus the running
+// sum and count.
+type histogram struct {
+	buckets map[float64]float64 // le → cumulative observation count
+	sum     float64
+	count   float64
+}
+
+func newHistogram() *histogram { return &histogram{buckets: make(map[float64]float64)} }
+
+// add folds another scrape of the same family into h (summing a
+// cluster's per-shard histograms, like ingestTotals sums counters).
+func (h *histogram) add(o *histogram) {
+	for le, c := range o.buckets {
+		h.buckets[le] += c
 	}
-	defer resp.Body.Close()
-	body, err := io.ReadAll(io.LimitReader(resp.Body, 8<<20))
-	if err != nil {
-		return nil, err
+	h.sum += o.sum
+	h.count += o.count
+}
+
+// sub returns h minus a previous scrape of the same family: the
+// histogram of only the observations made between the two scrapes.
+// before may be nil (everything is new).
+func (h *histogram) sub(before *histogram) *histogram {
+	d := newHistogram()
+	for le, c := range h.buckets {
+		d.buckets[le] = c
+		if before != nil {
+			d.buckets[le] -= before.buckets[le]
+		}
 	}
-	out := make(map[string]float64)
-	for _, line := range strings.Split(string(body), "\n") {
+	d.sum, d.count = h.sum, h.count
+	if before != nil {
+		d.sum -= before.sum
+		d.count -= before.count
+	}
+	return d
+}
+
+// quantile interpolates the qth quantile (0 < q < 1) from the cumulative
+// buckets, the way PromQL's histogram_quantile does: linear within the
+// bucket the rank lands in, the highest finite bound for the +Inf
+// bucket. Returns 0 for an empty histogram. Units are the histogram's
+// own (seconds for the latency families).
+func (h *histogram) quantile(q float64) float64 {
+	bounds := make([]float64, 0, len(h.buckets))
+	for b := range h.buckets {
+		bounds = append(bounds, b)
+	}
+	sort.Float64s(bounds) // +Inf sorts last
+	if len(bounds) == 0 {
+		return 0
+	}
+	total := h.buckets[bounds[len(bounds)-1]]
+	if total <= 0 {
+		return 0
+	}
+	target := q * total
+	prevBound, prevCount := 0.0, 0.0
+	for _, b := range bounds {
+		c := h.buckets[b]
+		if c >= target {
+			if math.IsInf(b, +1) || c == prevCount {
+				return prevBound
+			}
+			return prevBound + (b-prevBound)*(target-prevCount)/(c-prevCount)
+		}
+		prevBound, prevCount = b, c
+	}
+	return prevBound
+}
+
+// exposition is one parsed /metrics page: the flat name → summed-value
+// view the counter deltas and the barrier use, plus every histogram
+// family keyed by base name and remaining labels (the le label
+// stripped), e.g. `innetcoord_query_latency_seconds{mode="compact"}`.
+type exposition struct {
+	flat  map[string]float64
+	hists map[string]*histogram
+}
+
+// parseExposition parses Prometheus text format. # HELP and other
+// comments are skipped; # TYPE lines are read just enough to know which
+// families are histograms, so their _bucket/_sum/_count series can be
+// reassembled instead of flattened.
+func parseExposition(body string) exposition {
+	ex := exposition{flat: make(map[string]float64), hists: make(map[string]*histogram)}
+	lines := strings.Split(body, "\n")
+	histType := make(map[string]bool)
+	for _, line := range lines {
+		if name, ok := strings.CutPrefix(strings.TrimSpace(line), "# TYPE "); ok {
+			if base, kind, ok := strings.Cut(name, " "); ok && strings.TrimSpace(kind) == "histogram" {
+				histType[base] = true
+			}
+		}
+	}
+	for _, line := range lines {
 		line = strings.TrimSpace(line)
 		if line == "" || strings.HasPrefix(line, "#") {
 			continue
 		}
-		name, val, ok := strings.Cut(line, " ")
+		name, labels, value, ok := parseSeries(line)
 		if !ok {
 			continue
 		}
-		if i := strings.IndexByte(name, '{'); i >= 0 {
-			name = name[:i]
+		ex.flat[name] += value
+
+		base, suffix := name, ""
+		for _, s := range []string{"_bucket", "_sum", "_count"} {
+			if b := strings.TrimSuffix(name, s); b != name && histType[b] {
+				base, suffix = b, s
+				break
+			}
 		}
-		f, err := strconv.ParseFloat(strings.TrimSpace(val), 64)
-		if err != nil {
+		if suffix == "" {
 			continue
 		}
-		out[name] += f
+		le := math.NaN()
+		rest := make([]string, 0, len(labels))
+		for _, l := range labels {
+			if k, v, _ := strings.Cut(l, "="); k == "le" {
+				if f, err := strconv.ParseFloat(strings.Trim(v, `"`), 64); err == nil {
+					le = f
+				}
+				continue
+			}
+			rest = append(rest, l)
+		}
+		key := base
+		if len(rest) > 0 {
+			key += "{" + strings.Join(rest, ",") + "}"
+		}
+		h := ex.hists[key]
+		if h == nil {
+			h = newHistogram()
+			ex.hists[key] = h
+		}
+		switch suffix {
+		case "_bucket":
+			if !math.IsNaN(le) {
+				h.buckets[le] += value
+			}
+		case "_sum":
+			h.sum += value
+		case "_count":
+			h.count += value
+		}
+	}
+	return ex
+}
+
+// parseSeries splits one sample line into name, raw `key="value"` label
+// pairs, and value.
+func parseSeries(line string) (name string, labels []string, value float64, ok bool) {
+	rest := line
+	if i := strings.IndexByte(rest, '{'); i >= 0 {
+		j := strings.LastIndexByte(rest, '}')
+		if j < i {
+			return "", nil, 0, false
+		}
+		name = rest[:i]
+		if body := rest[i+1 : j]; body != "" {
+			labels = strings.Split(body, ",")
+		}
+		rest = rest[j+1:]
+	} else if name, rest, ok = strings.Cut(rest, " "); !ok {
+		return "", nil, 0, false
+	}
+	f, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+	if err != nil {
+		return "", nil, 0, false
+	}
+	return name, labels, f, true
+}
+
+// serverHistograms scrapes every daemon the run touches — the shards
+// plus the coordinator for a cluster, the single innetd otherwise — and
+// merges same-keyed histogram families across them.
+func (t Target) serverHistograms(ctx context.Context) (map[string]*histogram, error) {
+	bases := []string{t.HTTP}
+	if t.Cluster {
+		bases = append(append([]string{}, t.ShardHTTP...), t.HTTP)
+	}
+	out := make(map[string]*histogram)
+	for _, base := range bases {
+		body, err := scrapeBody(ctx, base)
+		if err != nil {
+			return nil, err
+		}
+		for key, h := range parseExposition(body).hists {
+			if out[key] == nil {
+				out[key] = newHistogram()
+			}
+			out[key].add(h)
+		}
 	}
 	return out, nil
+}
+
+// serverHistogramDeltas folds a before/after scrape pair into the
+// report's server-side latency view: one ServerHistogram per family
+// that observed anything during the run.
+func serverHistogramDeltas(before, after map[string]*histogram) map[string]ServerHistogram {
+	out := make(map[string]ServerHistogram)
+	for key, h := range after {
+		d := h.sub(before[key])
+		if d.count <= 0 {
+			continue
+		}
+		out[key] = ServerHistogram{
+			Count: d.count,
+			P50MS: d.quantile(0.50) * 1000,
+			P95MS: d.quantile(0.95) * 1000,
+			P99MS: d.quantile(0.99) * 1000,
+		}
+	}
+	return out
 }
 
 // ingestTotals sums the ingest-side counters the throughput and drop

@@ -42,6 +42,20 @@ type CheckpointReport struct {
 	FetchError string `json:"fetch_error,omitempty"`
 }
 
+// ServerHistogram summarizes one server-side latency histogram over the
+// run: the before/after bucket delta of a family scraped from the
+// daemons' /metrics, with quantiles interpolated the way PromQL's
+// histogram_quantile does. Unlike the prober latencies — measured from
+// the outside, per mode — these are the targets' own measurements:
+// ingest queue wait, observe-batch time, WAL fsyncs, per-mode merge
+// service time.
+type ServerHistogram struct {
+	Count float64 `json:"count"`
+	P50MS float64 `json:"p50_ms"`
+	P95MS float64 `json:"p95_ms"`
+	P99MS float64 `json:"p99_ms"`
+}
+
 // IngestReport is the target-side view of the segment, scraped from the
 // ingesting daemons' metrics (summed across shards for a cluster).
 type IngestReport struct {
@@ -69,7 +83,11 @@ type Report struct {
 	Fire        FireStats             `json:"fire"`
 	Ingest      IngestReport          `json:"ingest"`
 	Modes       map[string]ModeReport `json:"modes"`
-	Checkpoints []CheckpointReport    `json:"checkpoints"`
+	// Server holds the daemons' own latency histograms over the run,
+	// keyed by family and labels, e.g.
+	// innetcoord_query_latency_seconds{mode="compact"}.
+	Server      map[string]ServerHistogram `json:"server_histograms,omitempty"`
+	Checkpoints []CheckpointReport         `json:"checkpoints"`
 
 	CheckpointsOK bool `json:"checkpoints_ok"`
 }

@@ -60,6 +60,10 @@ func (r *Runner) Run(ctx context.Context) (*Report, error) {
 	if err != nil {
 		return nil, fmt.Errorf("loadgen: initial scrape: %w", err)
 	}
+	histBefore, err := r.Target.serverHistograms(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: initial histogram scrape: %w", err)
+	}
 
 	// Probers run for the whole load phase, checkpoints included — a
 	// frozen pipeline still answers queries, and those samples are the
@@ -134,6 +138,11 @@ func (r *Runner) Run(ctx context.Context) (*Report, error) {
 	if err != nil {
 		return nil, fmt.Errorf("loadgen: final scrape: %w", err)
 	}
+	histAfter, err := r.Target.serverHistograms(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: final histogram scrape: %w", err)
+	}
+	report.Server = serverHistogramDeltas(histBefore, histAfter)
 	delta := func(name string) float64 { return after[name] - before[name] }
 	ing := IngestReport{
 		Accepted:  delta("innetd_readings_accepted_total"),

@@ -1,0 +1,77 @@
+package obs
+
+import "testing"
+
+// The hot-path contract: incrementing a counter or observing into a
+// histogram must not allocate. These run as tests (not only benchmarks)
+// so a regression fails `go test ./...`, not just a bench nobody reruns.
+
+func TestCounterIncZeroAlloc(t *testing.T) {
+	c := NewRegistry().Counter("alloc_total", "x")
+	if n := testing.AllocsPerRun(1000, func() { c.Inc() }); n != 0 {
+		t.Fatalf("Counter.Inc allocates %v per op, want 0", n)
+	}
+}
+
+func TestHistogramObserveZeroAlloc(t *testing.T) {
+	h := NewRegistry().Histogram("alloc_seconds", "x", LatencyBuckets())
+	if n := testing.AllocsPerRun(1000, func() { h.Observe(3.7e-4) }); n != 0 {
+		t.Fatalf("Histogram.Observe allocates %v per op, want 0", n)
+	}
+}
+
+func TestHistogramVecObserveZeroAlloc(t *testing.T) {
+	v := NewRegistry().HistogramVec("alloc_vec_seconds", "x", "mode", LatencyBuckets())
+	h := v.With("compact") // resolving the child once is the intended hot-path shape
+	if n := testing.AllocsPerRun(1000, func() { h.Observe(3.7e-4) }); n != 0 {
+		t.Fatalf("HistogramVec child Observe allocates %v per op, want 0", n)
+	}
+}
+
+func BenchmarkCounterInc(b *testing.B) {
+	c := NewRegistry().Counter("bench_total", "x")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewRegistry().Histogram("bench_seconds", "x", LatencyBuckets())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(float64(i%1000) * 1e-6)
+	}
+}
+
+func BenchmarkHistogramObserveParallel(b *testing.B) {
+	h := NewRegistry().Histogram("bench_par_seconds", "x", LatencyBuckets())
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			h.Observe(2.5e-4)
+		}
+	})
+}
+
+func BenchmarkVecWithObserve(b *testing.B) {
+	v := NewRegistry().HistogramVec("bench_vec_seconds", "x", "mode", LatencyBuckets())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		v.With("compact").Observe(2.5e-4)
+	}
+}
+
+func BenchmarkRender(b *testing.B) {
+	r := NewRegistry()
+	for _, name := range []string{"a_seconds", "b_seconds", "c_seconds"} {
+		h := r.Histogram(name, "x", LatencyBuckets())
+		for i := 0; i < 1000; i++ {
+			h.Observe(float64(i) * 1e-5)
+		}
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = r.Render()
+	}
+}

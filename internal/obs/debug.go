@@ -1,0 +1,57 @@
+package obs
+
+import (
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+)
+
+// The -debug-addr endpoint: pprof plus Go runtime gauges, on a listener
+// that exists only when the operator asks for it. Keeping it off the
+// main API mux means the default deployment exposes no profiler — the
+// e2e smokes assert /debug/pprof/ 404s on the API port.
+
+// RuntimeRegistry returns a registry of Go runtime gauges: goroutines,
+// heap, and GC work. ReadMemStats runs once per metric per scrape; the
+// debug endpoint is scraped by operators, not hot loops.
+func RuntimeRegistry() *Registry {
+	r := NewRegistry()
+	mem := func(read func(*runtime.MemStats) float64) func() float64 {
+		return func() float64 {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			return read(&ms)
+		}
+	}
+	r.GaugeFunc("go_goroutines", "Number of live goroutines.",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	r.GaugeFunc("go_gomaxprocs", "GOMAXPROCS setting.",
+		func() float64 { return float64(runtime.GOMAXPROCS(0)) })
+	r.GaugeFunc("go_heap_alloc_bytes", "Bytes of allocated heap objects.",
+		mem(func(ms *runtime.MemStats) float64 { return float64(ms.HeapAlloc) }))
+	r.GaugeFunc("go_heap_sys_bytes", "Bytes of heap obtained from the OS.",
+		mem(func(ms *runtime.MemStats) float64 { return float64(ms.HeapSys) }))
+	r.GaugeFunc("go_heap_objects", "Number of allocated heap objects.",
+		mem(func(ms *runtime.MemStats) float64 { return float64(ms.HeapObjects) }))
+	r.CounterFunc("go_gc_cycles_total", "Completed GC cycles.",
+		mem(func(ms *runtime.MemStats) float64 { return float64(ms.NumGC) }))
+	r.CounterFunc("go_gc_pause_seconds_total", "Cumulative GC stop-the-world pause time.",
+		mem(func(ms *runtime.MemStats) float64 { return float64(ms.PauseTotalNs) / 1e9 }))
+	return r
+}
+
+// DebugMux returns the handler served on -debug-addr: the pprof suite
+// under /debug/pprof/ and the runtime gauges under /metrics. The pprof
+// handlers are mounted explicitly — importing net/http/pprof for its
+// side effect would register them on http.DefaultServeMux, where an
+// unrelated handler could accidentally expose them.
+func DebugMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/metrics", RuntimeRegistry().Handler())
+	return mux
+}

@@ -1,0 +1,181 @@
+package obs
+
+import (
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestExpositionGolden(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("demo_events_total", "Events seen.")
+	c.Add(5)
+	r.GaugeFunc("demo_depth", "Current depth.", func() float64 { return 3 })
+	r.LabeledGaugeFunc("demo_queue_depth", "Per-queue depth.", func(emit func(string, float64)) {
+		emit(Label("queue", "a"), 1)
+		emit(Label("queue", "b"), 2)
+	})
+	h := r.Histogram("demo_latency_seconds", "Latency.", []float64{0.001, 0.01, 0.1})
+	h.Observe(0.0005)
+	h.Observe(0.05)
+	h.Observe(5) // above every bound: +Inf only
+
+	want := strings.Join([]string{
+		"# HELP demo_events_total Events seen.",
+		"# TYPE demo_events_total counter",
+		"demo_events_total 5",
+		"# HELP demo_depth Current depth.",
+		"# TYPE demo_depth gauge",
+		"demo_depth 3",
+		"# HELP demo_queue_depth Per-queue depth.",
+		"# TYPE demo_queue_depth gauge",
+		`demo_queue_depth{queue="a"} 1`,
+		`demo_queue_depth{queue="b"} 2`,
+		"# HELP demo_latency_seconds Latency.",
+		"# TYPE demo_latency_seconds histogram",
+		`demo_latency_seconds_bucket{le="0.001"} 1`,
+		`demo_latency_seconds_bucket{le="0.01"} 1`,
+		`demo_latency_seconds_bucket{le="0.1"} 2`,
+		`demo_latency_seconds_bucket{le="+Inf"} 3`,
+		"demo_latency_seconds_sum 5.0505",
+		"demo_latency_seconds_count 3",
+		"",
+	}, "\n")
+	if got := r.Render(); got != want {
+		t.Fatalf("exposition mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestHistogramVecExposition(t *testing.T) {
+	r := NewRegistry()
+	v := r.HistogramVec("demo_query_seconds", "Query latency.", "mode", []float64{0.01, 1})
+	v.With("full").Observe(0.5)
+	v.With("compact").Observe(0.005)
+	v.With("compact").Observe(0.005)
+
+	want := strings.Join([]string{
+		"# HELP demo_query_seconds Query latency.",
+		"# TYPE demo_query_seconds histogram",
+		`demo_query_seconds_bucket{mode="compact",le="0.01"} 2`,
+		`demo_query_seconds_bucket{mode="compact",le="1"} 2`,
+		`demo_query_seconds_bucket{mode="compact",le="+Inf"} 2`,
+		`demo_query_seconds_sum{mode="compact"} 0.01`,
+		`demo_query_seconds_count{mode="compact"} 2`,
+		`demo_query_seconds_bucket{mode="full",le="0.01"} 0`,
+		`demo_query_seconds_bucket{mode="full",le="1"} 1`,
+		`demo_query_seconds_bucket{mode="full",le="+Inf"} 1`,
+		`demo_query_seconds_sum{mode="full"} 0.5`,
+		`demo_query_seconds_count{mode="full"} 1`,
+		"",
+	}, "\n")
+	if got := r.Render(); got != want {
+		t.Fatalf("vec exposition mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestDuplicateNamePanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dup_total", "x")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	r.GaugeFunc("dup_total", "y", func() float64 { return 0 })
+}
+
+func TestBadNamePanics(t *testing.T) {
+	r := NewRegistry()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad metric name did not panic")
+		}
+	}()
+	r.Counter("9starts-with-digit", "x")
+}
+
+func TestIntegerValueFormatting(t *testing.T) {
+	r := NewRegistry()
+	r.CounterFunc("fmt_total", "x", func() float64 { return 12345678 })
+	if !strings.Contains(r.Render(), "fmt_total 12345678\n") {
+		t.Fatalf("integer counter not rendered as %%d:\n%s", r.Render())
+	}
+}
+
+func TestLatencyBuckets(t *testing.T) {
+	b := LatencyBuckets()
+	if len(b) != 24 {
+		t.Fatalf("got %d buckets, want 24", len(b))
+	}
+	if b[0] != 1e-6 {
+		t.Fatalf("first bound %g, want 1e-6", b[0])
+	}
+	for i := 1; i < len(b); i++ {
+		if b[i] != 2*b[i-1] {
+			t.Fatalf("bound %d: %g is not double %g", i, b[i], b[i-1])
+		}
+	}
+	if b[23] < 8 || b[23] > 9 {
+		t.Fatalf("last bound %g out of the expected ~8.4s", b[23])
+	}
+}
+
+// TestConcurrentObserveScrape races parallel observers and incrementers
+// against concurrent scrapes; run under -race it pins the registry's
+// lock-free hot path, and the final page must account for every op.
+func TestConcurrentObserveScrape(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("race_total", "x")
+	h := r.Histogram("race_seconds", "x", LatencyBuckets())
+	v := r.HistogramVec("race_vec_seconds", "x", "mode", LatencyBuckets())
+
+	const workers, perWorker = 8, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				h.Observe(float64(i%100) * 1e-5)
+				v.With([]string{"compact", "full"}[i%2]).Observe(1e-4)
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 200; i++ {
+			_ = r.Render()
+		}
+	}()
+	wg.Wait()
+	<-done
+
+	if got := c.Value(); got != workers*perWorker {
+		t.Fatalf("counter %d, want %d", got, workers*perWorker)
+	}
+	if got := h.Count(); got != workers*perWorker {
+		t.Fatalf("histogram count %d, want %d", got, workers*perWorker)
+	}
+	page := r.Render()
+	if !strings.Contains(page, "race_seconds_count 16000") {
+		t.Fatalf("final page missing the full histogram count:\n%s", page)
+	}
+}
+
+func TestHandlerContentType(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("ct_total", "x")
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if got := resp.Header.Get("Content-Type"); got != ContentType {
+		t.Fatalf("Content-Type %q, want %q", got, ContentType)
+	}
+}

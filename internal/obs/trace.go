@@ -1,0 +1,135 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"sync"
+)
+
+// Merge-session tracing: the paper's evaluation is about what one
+// Algorithm 1 exchange costs — bytes and rounds to converge — so the
+// coordinator records every compact-merge session it drives into a
+// bounded ring, inspectable per query at /debug/merges instead of only
+// as aggregate counters.
+
+// ShardRoundTrace is one shard's side of one merge round.
+type ShardRoundTrace struct {
+	Shard      string  `json:"shard"`
+	SentBytes  int     `json:"sent_bytes"`  // LEDGER chunk payload delivered
+	RecvBytes  int     `json:"recv_bytes"`  // SUFFICIENT reply payload received
+	SentPoints int     `json:"sent_points"` // coordinator delta points delivered
+	RecvPoints int     `json:"recv_points"` // shard delta points received
+	RTTMS      float64 `json:"rtt_ms"`      // whole network phase, retries included
+	Err        string  `json:"err,omitempty"`
+}
+
+// RoundTrace is one compact-merge round across every shard.
+type RoundTrace struct {
+	Round  int               `json:"round"`
+	Bytes  int               `json:"bytes"` // Σ sent+recv, as counted into innetcoord_merge_bytes_total
+	Shards []ShardRoundTrace `json:"shards"`
+}
+
+// LedgerTrace is one per-link ledger's final size.
+type LedgerTrace struct {
+	Shard  string `json:"shard"`
+	Points int    `json:"points"`
+}
+
+// MergeTrace is one recorded Algorithm 1 session. The invariant the e2e
+// suites pin: TotalBytes — the sum of the per-round Bytes — equals the
+// innetcoord_merge_bytes_total delta the session caused.
+type MergeTrace struct {
+	Session   string `json:"session"` // session ID, hex (string keeps 64-bit IDs JSON-safe)
+	Requested string `json:"requested_mode"`
+	Final     string `json:"final_mode"` // after any fallback
+	Degraded  bool   `json:"degraded"`
+
+	Rounds   []RoundTrace  `json:"rounds"`
+	Quiesced int           `json:"quiesced_round"` // round index that moved nothing; -1 if never
+	Ledgers  []LedgerTrace `json:"ledgers,omitempty"`
+
+	Fallback   string  `json:"fallback_reason,omitempty"` // why the session abandoned the compact path
+	TotalBytes int     `json:"total_bytes"`               // == merge_bytes_total delta for this session
+	FullBytes  int     `json:"full_bytes,omitempty"`      // fallback full-path payload (merge_full_bytes_total delta)
+	Outliers   int     `json:"outliers"`
+	DurationMS float64 `json:"duration_ms"`
+}
+
+// MergeLog is a bounded ring of merge-session traces, optionally teeing
+// each record as one JSON line to a sink (-trace-file). Record is
+// mutex-guarded but off the ingest hot path — one call per merge query.
+type MergeLog struct {
+	mu    sync.Mutex
+	buf   []MergeTrace
+	next  int
+	total uint64
+	sink  io.Writer
+}
+
+// NewMergeLog returns a ring holding the last capacity sessions.
+func NewMergeLog(capacity int) *MergeLog {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &MergeLog{buf: make([]MergeTrace, 0, capacity)}
+}
+
+// SetSink tees every subsequent Record to w as one JSON line. Write
+// errors are silently dropped — tracing must never fail a query.
+func (l *MergeLog) SetSink(w io.Writer) {
+	l.mu.Lock()
+	l.sink = w
+	l.mu.Unlock()
+}
+
+// Record appends one session trace, evicting the oldest past capacity.
+func (l *MergeLog) Record(t MergeTrace) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.buf) < cap(l.buf) {
+		l.buf = append(l.buf, t)
+	} else {
+		l.buf[l.next] = t
+		l.next = (l.next + 1) % cap(l.buf)
+	}
+	l.total++
+	if l.sink != nil {
+		if line, err := json.Marshal(t); err == nil {
+			l.sink.Write(append(line, '\n'))
+		}
+	}
+}
+
+// Snapshot returns the held traces, newest first.
+func (l *MergeLog) Snapshot() []MergeTrace {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]MergeTrace, 0, len(l.buf))
+	for i := len(l.buf) - 1; i >= 0; i-- {
+		out = append(out, l.buf[(l.next+i)%len(l.buf)])
+	}
+	return out
+}
+
+// Total returns how many sessions have ever been recorded.
+func (l *MergeLog) Total() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.total
+}
+
+// Handler serves the ring as JSON: {"total": N, "merges": [newest, ...]}.
+func (l *MergeLog) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		l.mu.Lock()
+		total := l.total
+		l.mu.Unlock()
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(map[string]any{
+			"total":  total,
+			"merges": l.Snapshot(),
+		})
+	})
+}

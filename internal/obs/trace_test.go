@@ -1,0 +1,116 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func mkTrace(i int) MergeTrace {
+	return MergeTrace{
+		Session:    fmt.Sprintf("%x", i),
+		Requested:  "compact",
+		Final:      "compact",
+		Quiesced:   2,
+		TotalBytes: 100 * i,
+		Rounds: []RoundTrace{{
+			Round: 0,
+			Bytes: 100 * i,
+			Shards: []ShardRoundTrace{
+				{Shard: "127.0.0.1:9001", SentBytes: 60 * i, RecvBytes: 40 * i, RTTMS: 1.5},
+			},
+		}},
+	}
+}
+
+func TestMergeLogRingOrder(t *testing.T) {
+	l := NewMergeLog(3)
+	for i := 1; i <= 5; i++ {
+		l.Record(mkTrace(i))
+	}
+	if got := l.Total(); got != 5 {
+		t.Fatalf("total %d, want 5", got)
+	}
+	snap := l.Snapshot()
+	if len(snap) != 3 {
+		t.Fatalf("snapshot holds %d, want capacity 3", len(snap))
+	}
+	// Newest first: sessions 5, 4, 3 survive; 1 and 2 were evicted.
+	for i, want := range []string{"5", "4", "3"} {
+		if snap[i].Session != want {
+			t.Fatalf("snapshot[%d].Session = %q, want %q (full: %+v)", i, snap[i].Session, want, snap)
+		}
+	}
+}
+
+func TestMergeLogPartialFill(t *testing.T) {
+	l := NewMergeLog(8)
+	l.Record(mkTrace(1))
+	l.Record(mkTrace(2))
+	snap := l.Snapshot()
+	if len(snap) != 2 || snap[0].Session != "2" || snap[1].Session != "1" {
+		t.Fatalf("partial-fill snapshot wrong: %+v", snap)
+	}
+}
+
+func TestMergeLogSinkJSONL(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewMergeLog(2)
+	l.SetSink(&buf)
+	l.Record(mkTrace(1))
+	l.Record(mkTrace(2))
+	l.Record(mkTrace(3)) // evicts 1 from the ring, but the sink keeps all three
+
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("sink holds %d lines, want 3:\n%s", len(lines), buf.String())
+	}
+	for i, line := range lines {
+		var tr MergeTrace
+		if err := json.Unmarshal([]byte(line), &tr); err != nil {
+			t.Fatalf("line %d is not valid JSON: %v", i, err)
+		}
+		if want := fmt.Sprintf("%x", i+1); tr.Session != want {
+			t.Fatalf("line %d session %q, want %q", i, tr.Session, want)
+		}
+		if tr.TotalBytes != 100*(i+1) {
+			t.Fatalf("line %d total_bytes %d, want %d", i, tr.TotalBytes, 100*(i+1))
+		}
+	}
+}
+
+func TestMergeLogHandler(t *testing.T) {
+	l := NewMergeLog(4)
+	l.Record(mkTrace(1))
+	l.Record(mkTrace(2))
+
+	srv := httptest.NewServer(l.Handler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("Content-Type %q", ct)
+	}
+	var body struct {
+		Total  uint64       `json:"total"`
+		Merges []MergeTrace `json:"merges"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body.Total != 2 || len(body.Merges) != 2 {
+		t.Fatalf("body total=%d merges=%d, want 2/2", body.Total, len(body.Merges))
+	}
+	if body.Merges[0].Session != "2" {
+		t.Fatalf("newest-first violated: first merge session %q", body.Merges[0].Session)
+	}
+	if got := body.Merges[0].Rounds[0].Shards[0].SentBytes; got != 120 {
+		t.Fatalf("round-trip lost shard detail: sent_bytes %d, want 120", got)
+	}
+}

@@ -91,6 +91,33 @@ func (k FrameKind) String() string {
 	}
 }
 
+// MetricLabel returns the frame kind as a lowercase label value for the
+// shard-control RPC latency histogram. Unlike String, the fallback is a
+// fixed word: metric label cardinality must stay bounded even if a
+// corrupt frame carries an unknown kind byte.
+func (k FrameKind) MetricLabel() string {
+	switch k {
+	case FrameAssign:
+		return "assign"
+	case FrameHandoff:
+		return "handoff"
+	case FrameEstimate:
+		return "estimate"
+	case FrameHealth:
+		return "health"
+	case FrameReadings:
+		return "readings"
+	case FrameAck:
+		return "ack"
+	case FrameLedger:
+		return "ledger"
+	case FrameSufficient:
+		return "sufficient"
+	default:
+		return "unknown"
+	}
+}
+
 // Frame flags.
 const (
 	// FlagResponse marks a frame answering the request with the same reqID.

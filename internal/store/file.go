@@ -88,6 +88,27 @@ type File struct {
 	w       *bufio.Writer
 	closed  bool
 	metrics Metrics
+	timing  func(op string, d time.Duration)
+}
+
+// SetTiming installs a duration observer for the store's durability
+// operations: op is "append" (WAL write+flush), "fsync" (any fsync —
+// WAL, snapshot file, or directory), or "compact" (a whole snapshot
+// rewrite). The daemons route these into latency histograms; a nil fn
+// clears the hook. Not part of the Store interface so wrapper stores in
+// tests stay source-compatible.
+func (f *File) SetTiming(fn func(op string, d time.Duration)) {
+	f.mu.Lock()
+	f.timing = fn
+	f.mu.Unlock()
+}
+
+// observe times one op; every call site holds f.mu, which also guards
+// the timing field.
+func (f *File) observe(op string, start time.Time) {
+	if f.timing != nil {
+		f.timing(op, time.Since(start))
+	}
 }
 
 // Open creates or recovers a file store in cfg.Dir. The WAL's torn tail,
@@ -248,6 +269,7 @@ func (f *File) append(frames []byte, n int) error {
 	if f.closed {
 		return errors.New("store: closed")
 	}
+	start := time.Now()
 	if _, err := f.w.Write(frames); err != nil {
 		return fmt.Errorf("store: append: %w", err)
 	}
@@ -256,12 +278,15 @@ func (f *File) append(frames []byte, n int) error {
 	if err := f.w.Flush(); err != nil {
 		return fmt.Errorf("store: append: %w", err)
 	}
+	f.observe("append", start)
 	f.metrics.WALBytes += uint64(len(frames))
 	f.metrics.WALRecords += uint64(n)
 	if f.cfg.Fsync {
+		syncStart := time.Now()
 		if err := f.wal.Sync(); err != nil {
 			return fmt.Errorf("store: fsync: %w", err)
 		}
+		f.observe("fsync", syncStart)
 		f.metrics.Fsyncs++
 	}
 	return nil
@@ -317,20 +342,25 @@ func (f *File) Compact(recs []Record, ids []Identity) error {
 	if f.closed {
 		return errors.New("store: closed")
 	}
+	compactStart := time.Now()
 	tmp := filepath.Join(f.cfg.Dir, snapTempName)
 	if err := os.WriteFile(tmp, buf, 0o644); err != nil {
 		return fmt.Errorf("store: snapshot: %w", err)
 	}
+	syncStart := time.Now()
 	if err := syncFile(tmp); err != nil {
 		return err
 	}
+	f.observe("fsync", syncStart)
 	f.metrics.Fsyncs++
 	if err := os.Rename(tmp, filepath.Join(f.cfg.Dir, snapName)); err != nil {
 		return fmt.Errorf("store: snapshot: %w", err)
 	}
+	syncStart = time.Now()
 	if err := syncDir(f.cfg.Dir); err != nil {
 		return err
 	}
+	f.observe("fsync", syncStart)
 	f.metrics.Fsyncs++
 	// The snapshot now covers everything: drop the log.
 	f.w.Reset(f.wal)
@@ -340,11 +370,14 @@ func (f *File) Compact(recs []Record, ids []Identity) error {
 	if _, err := f.wal.Seek(0, io.SeekStart); err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
+	syncStart = time.Now()
 	if err := f.wal.Sync(); err != nil {
 		return fmt.Errorf("store: fsync: %w", err)
 	}
+	f.observe("fsync", syncStart)
 	f.metrics.Fsyncs++
 	f.metrics.Compacts++
+	f.observe("compact", compactStart)
 	return nil
 }
 

@@ -46,9 +46,10 @@ for i in 0 1 2; do
 done
 
 echo "== start the coordinator (replicas=2, compact merge)"
+TRACE_FILE=$BINDIR/merges.jsonl
 "$BINDIR/innet-coord" -http "$COORD_HTTP" -udp "$HOST:$COORD_UDP_PORT" \
   -shards "$(IFS=,; echo "${SHARD_CTL[*]}")" -replicas 2 -merge compact \
-  -health-interval 100ms "${DETFLAGS[@]}" &
+  -health-interval 100ms -trace-file "$TRACE_FILE" "${DETFLAGS[@]}" &
 COORD_PID=$!
 PIDS+=("$COORD_PID")
 
@@ -149,6 +150,29 @@ echo "compact payload: ${COMPACT_BYTES}B/query, full-window payload: ${FULL_BYTE
 [[ "$COMPACT_BYTES" -gt 0 && "$COMPACT_BYTES" -lt "$FULL_BYTES" ]] || {
   echo "compact merge payload ${COMPACT_BYTES}B not below full ${FULL_BYTES}B" >&2; exit 1; }
 
+echo "== merge trace agrees with the payload counter"
+# The newest /debug/merges entry is the compact query just measured:
+# its total_bytes must equal the innetcoord_merge_bytes_total delta.
+MERGES=$(curl -fsS "http://$COORD_HTTP/debug/merges")
+grep -q '"total":' <<<"$MERGES" || { echo "/debug/merges malformed: $MERGES" >&2; exit 1; }
+TRACE_BYTES=$(grep -o '"total_bytes":[0-9]*' <<<"$MERGES" | head -1 | cut -d: -f2)
+[[ "${TRACE_BYTES:-}" == "$COMPACT_BYTES" ]] || {
+  echo "newest trace total_bytes=${TRACE_BYTES:-missing}, counter delta=$COMPACT_BYTES" >&2; exit 1; }
+grep -q '"quiesced_round":' <<<"$MERGES" || { echo "trace missing quiesced_round: $MERGES" >&2; exit 1; }
+echo "newest compact session moved ${TRACE_BYTES}B, matching the counter"
+
+echo "== coordinator metrics carry HELP/TYPE and histograms; pprof off by default"
+CMETRICS=$(curl -fsS "http://$COORD_HTTP/metrics")
+for WANT in \
+  "# TYPE innetcoord_merge_bytes_total counter" \
+  "# TYPE innetcoord_query_latency_seconds histogram" \
+  "# TYPE innetcoord_rpc_latency_seconds histogram" \
+  'innetcoord_query_latency_seconds_count{mode="compact"}'; do
+  grep -qF "$WANT" <<<"$CMETRICS" || { echo "coordinator metrics missing: $WANT" >&2; exit 1; }
+done
+CODE=$(curl -s -o /dev/null -w '%{http_code}' "http://$COORD_HTTP/debug/pprof/")
+[[ "$CODE" == 404 ]] || { echo "/debug/pprof/ on the API port returned $CODE, want 404" >&2; exit 1; }
+
 echo "== shard states"
 curl -fsS "http://$COORD_HTTP/v1/shards"; echo
 
@@ -173,4 +197,9 @@ curl -fsS "http://$COORD_HTTP/metrics"
 echo "== clean shutdown"
 kill -INT "$COORD_PID"
 wait "$COORD_PID"
+
+echo "== -trace-file captured the sessions as JSONL"
+[[ -s "$TRACE_FILE" ]] || { echo "trace file $TRACE_FILE empty" >&2; exit 1; }
+grep -q '"session":' "$TRACE_FILE" || { echo "trace file lines lack session IDs" >&2; exit 1; }
+echo "$(wc -l < "$TRACE_FILE") sessions traced to $TRACE_FILE"
 echo "cluster smoke: OK"

@@ -9,6 +9,7 @@
 set -euo pipefail
 
 HTTP=127.0.0.1:18080
+DEBUG=127.0.0.1:18085
 UDP_HOST=127.0.0.1
 UDP_PORT=19971
 BIN=$(mktemp -d)/innetd
@@ -22,7 +23,7 @@ echo "== build"
 go build -o "$BIN" ./cmd/innetd
 
 echo "== start daemon"
-"$BIN" -http "$HTTP" -udp "$UDP_HOST:$UDP_PORT" -sensors 1-5 -ranker nn -n 1 -window 10m &
+"$BIN" -http "$HTTP" -udp "$UDP_HOST:$UDP_PORT" -debug-addr "$DEBUG" -sensors 1-5 -ranker nn -n 1 -window 10m &
 DAEMON_PID=$!
 
 echo "== wait for health"
@@ -61,7 +62,29 @@ done
 [[ -n "$FOUND" ]] || { echo "outlier never surfaced: $EST" >&2; exit 1; }
 
 echo "== metrics"
-curl -fsS "http://$HTTP/metrics"
+METRICS=$(curl -fsS "http://$HTTP/metrics")
+echo "$METRICS"
+
+echo "== metrics carry HELP/TYPE metadata and the latency histograms"
+for WANT in \
+  "# TYPE innetd_readings_accepted_total counter" \
+  "# TYPE innetd_sensors gauge" \
+  "# TYPE innetd_queue_latency_seconds histogram" \
+  "# TYPE innetd_observe_batch_seconds histogram" \
+  "# TYPE innetd_query_latency_seconds histogram" \
+  'innetd_queue_latency_seconds_bucket{le="+Inf"}'; do
+  grep -qF "$WANT" <<<"$METRICS" || { echo "metrics missing: $WANT" >&2; exit 1; }
+done
+# The query polls above must have landed in the query histogram.
+QCOUNT=$(awk '$1 == "innetd_query_latency_seconds_count" {print $2}' <<<"$METRICS")
+[[ "${QCOUNT:-0}" -gt 0 ]] || { echo "query latency histogram empty after queries" >&2; exit 1; }
+
+echo "== pprof stays off the API port, on the -debug-addr listener"
+CODE=$(curl -s -o /dev/null -w '%{http_code}' "http://$HTTP/debug/pprof/")
+[[ "$CODE" == 404 ]] || { echo "/debug/pprof/ on the API port returned $CODE, want 404" >&2; exit 1; }
+curl -fsS "http://$DEBUG/debug/pprof/" >/dev/null || { echo "pprof index unreachable on $DEBUG" >&2; exit 1; }
+curl -fsS "http://$DEBUG/metrics" | grep -q '^go_goroutines ' \
+  || { echo "runtime gauges missing on $DEBUG/metrics" >&2; exit 1; }
 
 echo "== clean shutdown"
 kill -INT "$DAEMON_PID"

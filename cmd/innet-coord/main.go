@@ -14,7 +14,7 @@
 //	            [-query-timeout d] [-health-interval d]
 //	            [-ranker nn|knn|kthnn|db] [-k n] [-eps α] [-n outliers]
 //	            [-window d] [-data-dir dir] [-fsync] [-debug-addr addr]
-//	            [-slow-query d] [-trace-file path] [-v]
+//	            [-slow-query d] [-log-format text|json] [-trace-file path] [-v]
 //
 // With -data-dir the coordinator persists its per-sensor identity
 // counters (next sequence number, newest timestamp) and recovers them
@@ -24,9 +24,16 @@
 //
 // With -debug-addr the coordinator serves the pprof suite and Go
 // runtime gauges on a separate listener. -slow-query logs merged
-// queries slower than the threshold, and -trace-file appends every
-// compact-merge session trace — the same records /debug/merges serves —
-// to a JSONL file for offline analysis.
+// queries slower than the threshold (with the query's trace ID), and
+// -trace-file appends every compact-merge session trace and every
+// recorded span — the same records /debug/merges and /debug/traces
+// serve — to a JSONL file for offline analysis.
+//
+// Logging is structured (log/slog); -log-format selects text (default)
+// or json. Every query mints a trace ID that is stamped into shard
+// frames (tracing-aware shards echo it and record their own spans) and
+// returned in the /v1/outliers response, so one ID follows a query
+// across the whole cluster.
 //
 // Example (matching three `innetd -shard` processes):
 //
@@ -42,7 +49,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -84,6 +91,7 @@ type options struct {
 	fsync          bool
 	debugAddr      string
 	slowQuery      time.Duration
+	logFormat      string
 	traceFile      string
 	verbose        bool
 }
@@ -108,7 +116,8 @@ func parseFlags(args []string) (options, error) {
 	fs.BoolVar(&o.fsync, "fsync", false, "fsync every WAL append batch (survives machine crashes, not just process crashes)")
 	fs.StringVar(&o.debugAddr, "debug-addr", "", "debug listen address for pprof + runtime metrics (empty disables)")
 	fs.DurationVar(&o.slowQuery, "slow-query", 0, "log merged queries slower than this threshold (0 disables)")
-	fs.StringVar(&o.traceFile, "trace-file", "", "append every compact-merge session trace to this file as JSONL (empty disables)")
+	fs.StringVar(&o.logFormat, "log-format", "text", "structured log output format: text or json")
+	fs.StringVar(&o.traceFile, "trace-file", "", "append every merge trace and span to this file as JSONL (empty disables)")
 	fs.BoolVar(&o.verbose, "v", false, "log requests and fleet events")
 	if err := fs.Parse(args); err != nil {
 		return o, err
@@ -161,12 +170,12 @@ type daemon struct {
 	httpLn  net.Listener
 	debugLn net.Listener // nil without -debug-addr
 	udpConn net.PacketConn
-	logf    func(format string, args ...any)
+	log     *slog.Logger
 }
 
 // newDaemon builds the coordinator and binds the listeners (but serves
 // nothing yet; call serve).
-func newDaemon(o options, logf func(string, ...any)) (*daemon, error) {
+func newDaemon(o options, logger *slog.Logger) (*daemon, error) {
 	ranker, err := buildRanker(o)
 	if err != nil {
 		return nil, err
@@ -194,9 +203,7 @@ func newDaemon(o options, logf func(string, ...any)) (*daemon, error) {
 		QueryTimeout:   o.queryTimeout,
 		HealthInterval: o.healthInterval,
 		SlowQuery:      o.slowQuery,
-	}
-	if o.verbose || o.slowQuery > 0 {
-		cfg.Logf = logf
+		Logger:         logger,
 	}
 	var traceF *os.File
 	if o.traceFile != "" {
@@ -226,7 +233,7 @@ func newDaemon(o options, logf func(string, ...any)) (*daemon, error) {
 		}
 		return nil, err
 	}
-	d := &daemon{coord: coord, st: st, traceF: traceF, logf: logf}
+	d := &daemon{coord: coord, st: st, traceF: traceF, log: logger}
 	fail := func(err error) (*daemon, error) {
 		coord.Close()
 		if st != nil {
@@ -258,12 +265,13 @@ func newDaemon(o options, logf func(string, ...any)) (*daemon, error) {
 	return d, nil
 }
 
-// logRequests is the -v middleware: one line per API call.
-func logRequests(logf func(string, ...any), next http.Handler) http.Handler {
+// logRequests is the -v middleware: one record per API call.
+func logRequests(logger *slog.Logger, next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		next.ServeHTTP(w, r)
-		logf("innet-coord: %s %s (%s)", r.Method, r.URL.Path, time.Since(start).Round(time.Microsecond))
+		logger.Debug("request", "method", r.Method, "path", r.URL.Path,
+			"elapsed", time.Since(start).Round(time.Microsecond))
 	})
 }
 
@@ -273,7 +281,7 @@ func logRequests(logf func(string, ...any), next http.Handler) http.Handler {
 func (d *daemon) serve(ctx context.Context, verbose bool) error {
 	handler := d.coord.Handler()
 	if verbose {
-		handler = logRequests(d.logf, handler)
+		handler = logRequests(d.log, handler)
 	}
 	httpSrv := &http.Server{Handler: handler}
 	httpDone := make(chan error, 1)
@@ -297,17 +305,17 @@ func (d *daemon) serve(ctx context.Context, verbose bool) error {
 		udpDone <- nil
 	}
 
-	d.logf("innet-coord: http on %s", d.httpLn.Addr())
+	d.log.Info("http listening", "addr", d.httpLn.Addr().String())
 	if d.debugLn != nil {
-		d.logf("innet-coord: debug (pprof + runtime metrics) on %s", d.debugLn.Addr())
+		d.log.Info("debug listening (pprof + runtime metrics)", "addr", d.debugLn.Addr().String())
 	}
 	if d.udpConn != nil {
-		d.logf("innet-coord: udp firehose on %s", d.udpConn.LocalAddr())
+		d.log.Info("udp firehose listening", "addr", d.udpConn.LocalAddr().String())
 	}
-	d.logf("innet-coord: coordinating %d shards", d.coord.ShardMapSnapshot().Len())
+	d.log.Info("coordinating shards", "shards", d.coord.ShardMapSnapshot().Len())
 
 	<-ctx.Done()
-	d.logf("innet-coord: shutting down")
+	d.log.Info("shutting down")
 
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
@@ -343,7 +351,7 @@ func (d *daemon) serve(ctx context.Context, verbose bool) error {
 			errShutdown = err
 		}
 	}
-	d.logf("innet-coord: bye")
+	d.log.Info("bye")
 	return errShutdown
 }
 
@@ -352,7 +360,11 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	d, err := newDaemon(o, log.New(os.Stderr, "", log.LstdFlags).Printf)
+	logger, err := obs.NewLogger(os.Stderr, o.logFormat, o.verbose)
+	if err != nil {
+		return err
+	}
+	d, err := newDaemon(o, logger)
 	if err != nil {
 		return err
 	}

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"strings"
@@ -87,7 +88,7 @@ func TestCoordinatorEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	d, err := newDaemon(o, t.Logf)
+	d, err := newDaemon(o, testLogger(t))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -236,4 +237,16 @@ func getJSON(t *testing.T, url string, v any) {
 	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
 		t.Fatal(err)
 	}
+}
+
+// testLogger routes daemon slog records into the test log.
+func testLogger(t *testing.T) *slog.Logger {
+	return slog.New(slog.NewTextHandler(testLogWriter{t}, &slog.HandlerOptions{Level: slog.LevelDebug}))
+}
+
+type testLogWriter struct{ t *testing.T }
+
+func (w testLogWriter) Write(p []byte) (int, error) {
+	w.t.Logf("%s", strings.TrimRight(string(p), "\n"))
+	return len(p), nil
 }

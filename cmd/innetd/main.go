@@ -11,7 +11,7 @@
 //	       [-sensors list] [-autojoin] [-ranker nn|knn|kthnn|db] [-k n]
 //	       [-eps α] [-n outliers] [-window d] [-hop d] [-queue depth]
 //	       [-batch max] [-data-dir dir] [-fsync] [-debug-addr addr]
-//	       [-slow-query d] [-v]
+//	       [-slow-query d] [-log-format text|json] [-trace-file path] [-v]
 //
 // With -data-dir the daemon's sliding windows are durable: every minted
 // reading is appended to a write-ahead log under the directory, startup
@@ -24,6 +24,13 @@
 // gauges on a separate listener, so the profiler never rides on the API
 // port. With -slow-query every GET /v1/outliers slower than the
 // threshold is logged with its query string and duration.
+//
+// Logging is structured (log/slog); -log-format selects text (default)
+// or json. In cluster mode the shard echoes coordinator trace IDs and
+// records spans — ingest queue waits, batch observes, merge-session
+// exchanges, WAL appends — into a bounded flight recorder served at
+// /debug/traces?trace=<id>; -trace-file additionally tees every span as
+// one JSON line.
 //
 // Example:
 //
@@ -42,7 +49,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -88,6 +95,8 @@ type options struct {
 	fsync         bool
 	debugAddr     string
 	slowQuery     time.Duration
+	logFormat     string
+	traceFile     string
 	verbose       bool
 }
 
@@ -113,6 +122,8 @@ func parseFlags(args []string) (options, error) {
 	fs.BoolVar(&o.fsync, "fsync", false, "fsync every WAL append batch (survives machine crashes, not just process crashes)")
 	fs.StringVar(&o.debugAddr, "debug-addr", "", "debug listen address for pprof + runtime metrics (empty disables)")
 	fs.DurationVar(&o.slowQuery, "slow-query", 0, "log outlier queries slower than this threshold (0 disables)")
+	fs.StringVar(&o.logFormat, "log-format", "text", "structured log output format: text or json")
+	fs.StringVar(&o.traceFile, "trace-file", "", "append every recorded span as one JSON line to this file (empty disables)")
 	fs.BoolVar(&o.verbose, "v", false, "log requests and fleet changes")
 	if err := fs.Parse(args); err != nil {
 		return o, err
@@ -167,16 +178,17 @@ func parseSensorList(spec string) ([]core.NodeID, error) {
 type daemon struct {
 	svc      *ingest.Service
 	st       *store.File // nil without -data-dir; closed last
+	traceF   *os.File    // nil without -trace-file
 	httpLn   net.Listener
 	debugLn  net.Listener // nil without -debug-addr
 	udpConn  net.PacketConn
 	shardSrv *cluster.ShardServer
-	logf     func(format string, args ...any)
+	log      *slog.Logger
 }
 
 // newDaemon builds the service, attaches the initial sensors, and binds
 // both listeners (but serves nothing yet; call serve).
-func newDaemon(o options, logf func(string, ...any)) (*daemon, error) {
+func newDaemon(o options, logger *slog.Logger) (*daemon, error) {
 	ranker, err := buildRanker(o)
 	if err != nil {
 		return nil, err
@@ -185,6 +197,16 @@ func newDaemon(o options, logf func(string, ...any)) (*daemon, error) {
 	if o.dataDir != "" {
 		if st, err = store.Open(store.Config{Dir: o.dataDir, Fsync: o.fsync}); err != nil {
 			return nil, err
+		}
+	}
+	var traceF *os.File
+	if o.traceFile != "" {
+		traceF, err = os.OpenFile(o.traceFile, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			if st != nil {
+				st.Close()
+			}
+			return nil, fmt.Errorf("open trace file: %w", err)
 		}
 	}
 	cfg := ingest.Config{
@@ -199,17 +221,21 @@ func newDaemon(o options, logf func(string, ...any)) (*daemon, error) {
 		AutoJoin:   o.autojoin,
 		MaxSensors: o.maxSensors,
 		SlowQuery:  o.slowQuery,
-	}
-	if o.verbose || o.slowQuery > 0 {
-		cfg.Logf = logf
+		Logger:     logger,
 	}
 	if st != nil {
 		cfg.Store = st
+	}
+	if traceF != nil {
+		cfg.TraceSink = traceF
 	}
 	svc, err := ingest.New(cfg)
 	if err != nil {
 		if st != nil {
 			st.Close()
+		}
+		if traceF != nil {
+			traceF.Close()
 		}
 		return nil, err
 	}
@@ -217,6 +243,9 @@ func newDaemon(o options, logf func(string, ...any)) (*daemon, error) {
 		svc.Close()
 		if st != nil {
 			st.Close()
+		}
+		if traceF != nil {
+			traceF.Close()
 		}
 		return nil, err
 	}
@@ -239,11 +268,11 @@ func newDaemon(o options, logf func(string, ...any)) (*daemon, error) {
 			return fail(fmt.Errorf("warm replay from %s: %w", o.dataDir, err))
 		}
 		if restored > 0 {
-			logf("innetd: replayed %d records from %s", restored, o.dataDir)
+			logger.Info("replayed records", "records", restored, "dir", o.dataDir)
 		}
 	}
 
-	d := &daemon{svc: svc, st: st, logf: logf}
+	d := &daemon{svc: svc, st: st, traceF: traceF, log: logger}
 	if d.httpLn, err = net.Listen("tcp", o.httpAddr); err != nil {
 		return fail(err)
 	}
@@ -258,7 +287,7 @@ func newDaemon(o options, logf func(string, ...any)) (*daemon, error) {
 			Service:          svc,
 			Addr:             o.shardAddr,
 			MaxMergeSessions: o.mergeSessions,
-			Logf:             logf,
+			Logger:           logger,
 		})
 		if err != nil {
 			if d.udpConn != nil {
@@ -283,12 +312,13 @@ func newDaemon(o options, logf func(string, ...any)) (*daemon, error) {
 	return d, nil
 }
 
-// logRequests is the -v middleware: one line per API call.
-func logRequests(logf func(string, ...any), next http.Handler) http.Handler {
+// logRequests is the -v middleware: one record per API call.
+func logRequests(logger *slog.Logger, next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		next.ServeHTTP(w, r)
-		logf("innetd: %s %s (%s)", r.Method, r.URL.Path, time.Since(start).Round(time.Microsecond))
+		logger.Debug("request", "method", r.Method, "path", r.URL.Path,
+			"elapsed", time.Since(start).Round(time.Microsecond))
 	})
 }
 
@@ -297,7 +327,7 @@ func logRequests(logf func(string, ...any), next http.Handler) http.Handler {
 func (d *daemon) serve(ctx context.Context, verbose bool) error {
 	handler := d.svc.Handler()
 	if verbose {
-		handler = logRequests(d.logf, handler)
+		handler = logRequests(d.log, handler)
 	}
 	httpSrv := &http.Server{Handler: handler}
 	httpDone := make(chan error, 1)
@@ -328,19 +358,19 @@ func (d *daemon) serve(ctx context.Context, verbose bool) error {
 		shardDone <- nil
 	}
 
-	d.logf("innetd: http on %s", d.httpLn.Addr())
+	d.log.Info("http listening", "addr", d.httpLn.Addr().String())
 	if d.debugLn != nil {
-		d.logf("innetd: debug (pprof + runtime metrics) on %s", d.debugLn.Addr())
+		d.log.Info("debug listening (pprof + runtime metrics)", "addr", d.debugLn.Addr().String())
 	}
 	if d.udpConn != nil {
-		d.logf("innetd: udp firehose on %s", d.udpConn.LocalAddr())
+		d.log.Info("udp firehose listening", "addr", d.udpConn.LocalAddr().String())
 	}
 	if d.shardSrv != nil {
-		d.logf("innetd: shard control on %s", d.shardSrv.Addr())
+		d.log.Info("shard control listening", "addr", d.shardSrv.Addr())
 	}
 
 	<-ctx.Done()
-	d.logf("innetd: shutting down")
+	d.log.Info("shutting down")
 
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
@@ -384,7 +414,12 @@ func (d *daemon) serve(ctx context.Context, verbose bool) error {
 			errShutdown = err
 		}
 	}
-	d.logf("innetd: fleet drained, bye")
+	if d.traceF != nil {
+		if err := d.traceF.Close(); err != nil && errShutdown == nil {
+			errShutdown = err
+		}
+	}
+	d.log.Info("fleet drained, bye")
 	return errShutdown
 }
 
@@ -393,7 +428,11 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	d, err := newDaemon(o, log.New(os.Stderr, "", log.LstdFlags).Printf)
+	logger, err := obs.NewLogger(os.Stderr, o.logFormat, o.verbose)
+	if err != nil {
+		return err
+	}
+	d, err := newDaemon(o, logger)
 	if err != nil {
 		return err
 	}

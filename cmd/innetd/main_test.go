@@ -5,12 +5,25 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"strings"
 	"testing"
 	"time"
 )
+
+// testLogger routes daemon slog records into the test log.
+func testLogger(t *testing.T) *slog.Logger {
+	return slog.New(slog.NewTextHandler(testLogWriter{t}, &slog.HandlerOptions{Level: slog.LevelDebug}))
+}
+
+type testLogWriter struct{ t *testing.T }
+
+func (w testLogWriter) Write(p []byte) (int, error) {
+	w.t.Logf("%s", strings.TrimRight(string(p), "\n"))
+	return len(p), nil
+}
 
 func TestParseSensorList(t *testing.T) {
 	for spec, want := range map[string]int{
@@ -69,7 +82,7 @@ func TestDaemonEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	d, err := newDaemon(o, t.Logf)
+	d, err := newDaemon(o, testLogger(t))
 	if err != nil {
 		t.Fatal(err)
 	}

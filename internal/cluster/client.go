@@ -117,11 +117,33 @@ func (c *ctlClient) close() error {
 	return err
 }
 
+// ctlRequest describes one shard-control request. A zero reqID is
+// minted fresh by exchange; callers that retry a logical operation
+// mint the reqID once (newReqID) and reuse it across attempts, so a
+// shard sees the retry as the same request — its replay caches and the
+// span dedupe both key on it. A nonzero trace stamps the frame with
+// FlagTraced (only done against shards that proved tracing-aware).
+type ctlRequest struct {
+	kind  protocol.FrameKind
+	flags uint8
+	reqID uint32
+	trace uint64
+	body  []byte
+}
+
+// newReqID mints a request ID for a logical operation that will be
+// retried (the reqID must survive the attempts, so exchange's
+// per-attempt minting cannot own it).
+func (c *ctlClient) newReqID() uint32 { return c.nextReq.Add(1) }
+
 // exchange sends one request frame to addr and feeds response frames
 // echoing its reqID to collect until collect reports done or ctx expires.
-func (c *ctlClient) exchange(ctx context.Context, addr *net.UDPAddr, kind protocol.FrameKind,
-	flags uint8, body []byte, collect func(protocol.Frame) (done bool, err error)) error {
-	reqID := c.nextReq.Add(1)
+func (c *ctlClient) exchange(ctx context.Context, addr *net.UDPAddr, req ctlRequest,
+	collect func(protocol.Frame) (done bool, err error)) error {
+	reqID := req.reqID
+	if reqID == 0 {
+		reqID = c.nextReq.Add(1)
+	}
 	ch := make(chan protocol.Frame, 64)
 	c.mu.Lock()
 	if c.closed {
@@ -136,10 +158,12 @@ func (c *ctlClient) exchange(ctx context.Context, addr *net.UDPAddr, kind protoc
 		c.mu.Unlock()
 	}()
 
-	frame := protocol.EncodeFrame(protocol.Frame{Kind: kind, Flags: flags, ReqID: reqID, Body: body})
+	frame := protocol.EncodeFrame(protocol.Frame{
+		Kind: req.kind, Flags: req.flags, ReqID: reqID, Trace: req.trace, Body: req.body,
+	})
 	start := time.Now()
 	if _, err := c.conn.WriteToUDP(frame, addr); err != nil {
-		return fmt.Errorf("cluster: send %v to %s: %w", kind, addr, err)
+		return fmt.Errorf("cluster: send %v to %s: %w", req.kind, addr, err)
 	}
 	for {
 		select {
@@ -155,7 +179,7 @@ func (c *ctlClient) exchange(ctx context.Context, addr *net.UDPAddr, kind protoc
 				// nothing about the wire (the retry wrapper owns failure
 				// accounting), while a completed one is a true RTT.
 				if c.onRTT != nil {
-					c.onRTT(kind, time.Since(start))
+					c.onRTT(req.kind, time.Since(start))
 				}
 				return nil
 			}
@@ -182,7 +206,8 @@ func (c *ctlClient) assign(ctx context.Context, addr *net.UDPAddr, body protocol
 		return 0, err
 	}
 	var resp protocol.Frame
-	if err := c.exchange(ctx, addr, protocol.FrameAssign, 0, buf, one(protocol.FrameAssign, &resp)); err != nil {
+	if err := c.exchange(ctx, addr, ctlRequest{kind: protocol.FrameAssign, body: buf},
+		one(protocol.FrameAssign, &resp)); err != nil {
 		return 0, err
 	}
 	ack, err := protocol.DecodeAck(resp.Body)
@@ -192,24 +217,31 @@ func (c *ctlClient) assign(ctx context.Context, addr *net.UDPAddr, body protocol
 	return ack.Count, nil
 }
 
-// health probes one shard.
-func (c *ctlClient) health(ctx context.Context, addr *net.UDPAddr) (protocol.HealthBody, error) {
+// health probes one shard. Probes are always stamped FlagTraced — a
+// legacy shard answers HEALTH without decoding the request body, so
+// the stamp is safe against any shard version — and traced reports
+// whether the response echoed the flag, which is how the coordinator
+// learns a shard is tracing-aware before stamping query frames at it.
+func (c *ctlClient) health(ctx context.Context, addr *net.UDPAddr) (protocol.HealthBody, bool, error) {
 	var resp protocol.Frame
-	if err := c.exchange(ctx, addr, protocol.FrameHealth, 0, nil, one(protocol.FrameHealth, &resp)); err != nil {
-		return protocol.HealthBody{}, err
+	if err := c.exchange(ctx, addr, ctlRequest{kind: protocol.FrameHealth, flags: protocol.FlagTraced},
+		one(protocol.FrameHealth, &resp)); err != nil {
+		return protocol.HealthBody{}, false, err
 	}
-	return protocol.DecodeHealth(resp.Body)
+	body, err := protocol.DecodeHealth(resp.Body)
+	return body, resp.Traced(), err
 }
 
 // readings routes one batch of identity-stamped points and returns the
 // count the shard accepted.
-func (c *ctlClient) readings(ctx context.Context, addr *net.UDPAddr, pts []core.Point) (uint64, error) {
+func (c *ctlClient) readings(ctx context.Context, addr *net.UDPAddr, trace uint64, pts []core.Point) (uint64, error) {
 	buf, err := protocol.ReadingsBody{Points: pts}.Encode()
 	if err != nil {
 		return 0, err
 	}
 	var resp protocol.Frame
-	if err := c.exchange(ctx, addr, protocol.FrameReadings, 0, buf, one(protocol.FrameAck, &resp)); err != nil {
+	if err := c.exchange(ctx, addr, ctlRequest{kind: protocol.FrameReadings, trace: trace, body: buf},
+		one(protocol.FrameAck, &resp)); err != nil {
 		return 0, err
 	}
 	ack, err := protocol.DecodeAck(resp.Body)
@@ -234,8 +266,8 @@ type fragmentParse func(f protocol.Frame) (frag, total int, pts []core.Point, ok
 // frames (ESTIMATE, HANDOFF window fetches, SUFFICIENT rounds),
 // reassembling the fragments in index order. bytes reports the summed
 // response payload, for the merge-cost metrics.
-func (c *ctlClient) collectFragments(ctx context.Context, addr *net.UDPAddr, kind protocol.FrameKind,
-	req []byte, parse fragmentParse) (pts []core.Point, bytes int, err error) {
+func (c *ctlClient) collectFragments(ctx context.Context, addr *net.UDPAddr, req ctlRequest,
+	parse fragmentParse) (pts []core.Point, bytes int, err error) {
 	frags := make(map[int][]core.Point)
 	fragBytes := make(map[int]int)
 	total := -1
@@ -249,7 +281,7 @@ func (c *ctlClient) collectFragments(ctx context.Context, addr *net.UDPAddr, kin
 		total = n
 		return len(frags) == total, nil
 	}
-	if err := c.exchange(ctx, addr, kind, 0, req, collect); err != nil {
+	if err := c.exchange(ctx, addr, req, collect); err != nil {
 		return nil, 0, err
 	}
 	for i := 0; i < total; i++ {
@@ -261,8 +293,8 @@ func (c *ctlClient) collectFragments(ctx context.Context, addr *net.UDPAddr, kin
 
 // estimate queries one shard's window snapshot, reassembling however many
 // fragments the shard split it into.
-func (c *ctlClient) estimate(ctx context.Context, addr *net.UDPAddr) ([]core.Point, int, error) {
-	return c.collectFragments(ctx, addr, protocol.FrameEstimate, nil,
+func (c *ctlClient) estimate(ctx context.Context, addr *net.UDPAddr, trace uint64) ([]core.Point, int, error) {
+	return c.collectFragments(ctx, addr, ctlRequest{kind: protocol.FrameEstimate, trace: trace},
 		func(f protocol.Frame) (int, int, []core.Point, bool, error) {
 			if f.Kind != protocol.FrameEstimate {
 				return 0, 0, nil, false, nil
@@ -276,8 +308,10 @@ func (c *ctlClient) estimate(ctx context.Context, addr *net.UDPAddr) ([]core.Poi
 }
 
 // ledger delivers one chunk of the coordinator's compact-merge delta to
-// a shard's session ledger. bytes reports the request payload size.
-func (c *ctlClient) ledger(ctx context.Context, addr *net.UDPAddr, session uint64, pts []core.Point) (bytes int, err error) {
+// a shard's session ledger. bytes reports the request payload size. A
+// nonzero reqID pins the request identity across retry attempts.
+func (c *ctlClient) ledger(ctx context.Context, addr *net.UDPAddr, reqID uint32, trace uint64,
+	session uint64, pts []core.Point) (bytes int, err error) {
 	buf, err := protocol.LedgerBody{Session: session, Points: pts}.Encode()
 	if err != nil {
 		return 0, err
@@ -293,7 +327,8 @@ func (c *ctlClient) ledger(ctx context.Context, addr *net.UDPAddr, session uint6
 		resp = f
 		return true, nil
 	}
-	if err := c.exchange(ctx, addr, protocol.FrameLedger, 0, buf, collect); err != nil {
+	req := ctlRequest{kind: protocol.FrameLedger, reqID: reqID, trace: trace, body: buf}
+	if err := c.exchange(ctx, addr, req, collect); err != nil {
 		return 0, err
 	}
 	if _, err := protocol.DecodeAck(resp.Body); err != nil {
@@ -307,12 +342,14 @@ func (c *ctlClient) ledger(ctx context.Context, addr *net.UDPAddr, session uint6
 // however many fragments the shard split it into, and the response
 // payload size. Retries are safe: the shard replays a computed round,
 // and refuses — rather than recreates — a session it no longer holds.
-func (c *ctlClient) sufficient(ctx context.Context, addr *net.UDPAddr, session uint64, round uint16) ([]core.Point, int, error) {
-	req, err := protocol.SufficientBody{Session: session, Round: round, FragCount: 1}.Encode()
+func (c *ctlClient) sufficient(ctx context.Context, addr *net.UDPAddr, reqID uint32, trace uint64,
+	session uint64, round uint16) ([]core.Point, int, error) {
+	buf, err := protocol.SufficientBody{Session: session, Round: round, FragCount: 1}.Encode()
 	if err != nil {
 		return nil, 0, err
 	}
-	return c.collectFragments(ctx, addr, protocol.FrameSufficient, req,
+	req := ctlRequest{kind: protocol.FrameSufficient, reqID: reqID, trace: trace, body: buf}
+	return c.collectFragments(ctx, addr, req,
 		func(f protocol.Frame) (int, int, []core.Point, bool, error) {
 			if f.Kind != protocol.FrameSufficient {
 				return 0, 0, nil, false, nil
@@ -338,7 +375,7 @@ func (c *ctlClient) handoffFetch(ctx context.Context, addr *net.UDPAddr, sensor 
 	if err != nil {
 		return nil, err
 	}
-	pts, _, err := c.collectFragments(ctx, addr, protocol.FrameHandoff, buf,
+	pts, _, err := c.collectFragments(ctx, addr, ctlRequest{kind: protocol.FrameHandoff, body: buf},
 		func(f protocol.Frame) (int, int, []core.Point, bool, error) {
 			if f.Kind != protocol.FrameHandoff {
 				return 0, 0, nil, false, nil
@@ -363,7 +400,7 @@ func (c *ctlClient) handoffTransfer(ctx context.Context, addr *net.UDPAddr, sens
 		return 0, err
 	}
 	var resp protocol.Frame
-	if err := c.exchange(ctx, addr, protocol.FrameHandoff, protocol.FlagTransfer, buf,
+	if err := c.exchange(ctx, addr, ctlRequest{kind: protocol.FrameHandoff, flags: protocol.FlagTransfer, body: buf},
 		one(protocol.FrameAck, &resp)); err != nil {
 		return 0, err
 	}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"slices"
 	"sort"
@@ -94,20 +95,28 @@ type Config struct {
 	// record per sensor. Default 4096.
 	IdentityCompactEvery int
 
-	// Logf, when set, receives one line per fleet event.
-	Logf func(string, ...any)
+	// Logger receives structured fleet and query events. Every record
+	// that belongs to a query carries its trace ID as a "trace" attr.
+	// Nil discards.
+	Logger *slog.Logger
 
 	// SlowQuery, when positive, logs every merged-estimate query that
-	// takes at least this long through Logf. Zero disables the log.
+	// takes at least this long through Logger (at Warn, with its trace
+	// ID). Zero disables the log.
 	SlowQuery time.Duration
 
-	// TraceSink, when set, receives every compact-merge session trace as
-	// one JSON line (the -trace-file flag); the in-memory /debug/merges
-	// ring records them regardless.
+	// TraceSink, when set, receives every compact-merge session trace
+	// and every query span as one JSON line each (the -trace-file flag);
+	// the in-memory /debug/merges and /debug/traces rings record them
+	// regardless.
 	TraceSink io.Writer
 
 	// TraceCapacity bounds the /debug/merges ring. Default 256.
 	TraceCapacity int
+
+	// SpanCapacity bounds the /debug/traces flight-recorder ring.
+	// Default 2048.
+	SpanCapacity int
 }
 
 func (c *Config) applyDefaults() {
@@ -141,11 +150,14 @@ func (c *Config) applyDefaults() {
 	if c.IdentityCompactEvery < 1 {
 		c.IdentityCompactEvery = 4096
 	}
-	if c.Logf == nil {
-		c.Logf = func(string, ...any) {}
+	if c.Logger == nil {
+		c.Logger = slog.New(slog.DiscardHandler)
 	}
 	if c.TraceCapacity < 1 {
 		c.TraceCapacity = 256
+	}
+	if c.SpanCapacity < 1 {
+		c.SpanCapacity = 2048
 	}
 }
 
@@ -160,6 +172,13 @@ type shardState struct {
 	misses  int
 	last    protocol.HealthBody
 	lastAt  time.Time
+	lastRTT time.Duration // last successful probe's round trip
+
+	// traced is whether the shard echoed FlagTraced on its last health
+	// response — the capability negotiation that keeps query frames to a
+	// legacy shard byte-identical to the old wire. Read by query fan-out
+	// goroutines without c.mu, hence atomic.
+	traced atomic.Bool
 }
 
 // sensorRoute is the coordinator-side per-sensor ingest state: the next
@@ -230,11 +249,15 @@ type Coordinator struct {
 	walErrors      atomic.Uint64 // failed store appends
 
 	// sessionIDs mints compact-merge session IDs that cannot collide
-	// within this process; see merge.go.
+	// within this process; see merge.go. traceIDs mints per-query trace
+	// IDs the same way — a second generator so neither sequence
+	// constrains the other.
 	sessionIDs *sessionIDs
+	traceIDs   *sessionIDs
 
 	obs      *coordObs     // metrics registry + latency histograms, built in New
 	mergeLog *obs.MergeLog // /debug/merges ring of compact-merge session traces
+	traceLog *obs.TraceLog // /debug/traces flight-recorder ring of query spans
 
 	ctx        context.Context
 	cancel     context.CancelFunc
@@ -277,14 +300,17 @@ func New(cfg Config) (*Coordinator, error) {
 		shards:     shards,
 		sensors:    make(map[core.NodeID]*sensorRoute),
 		sessionIDs: newSessionIDs(),
+		traceIDs:   newSessionIDs(),
 		ctx:        ctx,
 		cancel:     cancel,
 		healthDone: make(chan struct{}),
 	}
 	c.obs = newCoordObs(c)
 	c.mergeLog = obs.NewMergeLog(cfg.TraceCapacity)
+	c.traceLog = obs.NewTraceLog(cfg.SpanCapacity)
 	if cfg.TraceSink != nil {
 		c.mergeLog.SetSink(cfg.TraceSink)
+		c.traceLog.SetSink(cfg.TraceSink)
 	}
 	// Install the RPC timing hook before the first exchange — recovery
 	// below already talks to shards — so the field is never written
@@ -304,6 +330,10 @@ func New(cfg Config) (*Coordinator, error) {
 // first — the same view /debug/merges serves.
 func (c *Coordinator) MergeTraces() []obs.MergeTrace { return c.mergeLog.Snapshot() }
 
+// Traces returns the coordinator's span flight recorder — the ring
+// /debug/traces serves.
+func (c *Coordinator) Traces() *obs.TraceLog { return c.traceLog }
+
 // recoverIdentities closes the restart hole in coordinator-minted point
 // identity: per-sensor sequence counters live in coordinator memory, so
 // a coordinator restarted inside a live window used to re-mint in-window
@@ -322,7 +352,7 @@ func (c *Coordinator) recoverIdentities() {
 	if c.cfg.Store != nil {
 		st, err := c.cfg.Store.Load()
 		if err != nil {
-			c.cfg.Logf("cluster: identity store load failed, falling back to shard fan: %v", err)
+			c.cfg.Logger.Warn("identity store load failed, falling back to shard fan", "err", err)
 		} else if len(st.Identities) > 0 {
 			c.mu.Lock()
 			for _, id := range st.Identities {
@@ -342,7 +372,7 @@ func (c *Coordinator) recoverIdentities() {
 			c.mu.Unlock()
 			c.recovered.Store(uint64(n))
 			c.identitySource.Store("store")
-			c.cfg.Logf("cluster: recovered identity counters for %d sensors from the identity store", n)
+			c.cfg.Logger.Info("recovered identity counters", "source", "store", "sensors", n)
 			return
 		}
 	}
@@ -361,7 +391,7 @@ func (c *Coordinator) recoverIdentities() {
 			defer wg.Done()
 			ctx, cancel := context.WithTimeout(c.ctx, c.cfg.ProbeTimeout)
 			defer cancel()
-			pts, _, err := c.client.estimate(ctx, st.udp)
+			pts, _, err := c.client.estimate(ctx, st.udp, 0)
 			if err == nil {
 				snaps[i] = pts
 			}
@@ -390,9 +420,9 @@ func (c *Coordinator) recoverIdentities() {
 	if n > 0 {
 		c.recovered.Store(uint64(n))
 		c.identitySource.Store("shard-fan")
-		c.cfg.Logf("cluster: recovered identity counters for %d sensors from shard windows", n)
+		c.cfg.Logger.Info("recovered identity counters", "source", "shard-fan", "sensors", n)
 		// Seed the store so the next restart recovers without shards.
-		c.persistIdentities(c.identitySnapshot())
+		c.persistIdentities(0, c.identitySnapshot())
 	}
 }
 
@@ -419,14 +449,28 @@ func (c *Coordinator) identitySnapshot() []store.Identity {
 // persistIdentities appends identity-floor updates to the store,
 // compacting in the background once the log has grown enough. Append
 // failures are counted, not fatal: routing continues, and the floors
-// land at the next successful append or compaction.
-func (c *Coordinator) persistIdentities(ids []store.Identity) {
+// land at the next successful append or compaction. trace is the
+// ingest batch that advanced the floors (0 at startup seeding); the
+// append lands in the flight recorder either way.
+func (c *Coordinator) persistIdentities(trace uint64, ids []store.Identity) {
 	if c.cfg.Store == nil || len(ids) == 0 {
 		return
 	}
+	start := time.Now()
 	c.idStoreMu.Lock()
 	err := c.cfg.Store.PutIdentities(ids)
 	c.idStoreMu.Unlock()
+	span := obs.Span{
+		Trace:  trace,
+		Op:     obs.OpWALAppend,
+		Points: int32(len(ids)),
+		Start:  start,
+		Dur:    time.Since(start),
+	}
+	if err != nil {
+		span.Err = err.Error()
+	}
+	c.traceLog.Record(span)
 	if err != nil {
 		c.walErrors.Add(1)
 		return
@@ -492,13 +536,16 @@ func (c *Coordinator) ShardMapSnapshot() *ShardMap {
 
 // ShardInfo is one shard's externally visible state.
 type ShardInfo struct {
-	Addr       string    `json:"addr"`
-	Up         bool      `json:"up"`
-	Synced     bool      `json:"synced"`
-	Misses     int       `json:"misses"`
-	Sensors    int       `json:"sensors"`     // fleet size the shard last reported
-	MapVersion uint64    `json:"map_version"` // epoch the shard last reported
-	LastSeen   time.Time `json:"last_seen,omitzero"`
+	Addr          string    `json:"addr"`
+	Up            bool      `json:"up"`
+	Synced        bool      `json:"synced"`
+	Misses        int       `json:"misses"`
+	Sensors       int       `json:"sensors"`     // fleet size the shard last reported
+	MapVersion    uint64    `json:"map_version"` // epoch the shard last reported
+	LastSeen      time.Time `json:"last_seen,omitzero"`
+	LastRTTMS     float64   `json:"last_rtt_ms"`    // last successful health probe's round trip
+	Traced        bool      `json:"traced"`         // shard negotiated trace propagation
+	MergeSessions int       `json:"merge_sessions"` // merge-session cache occupancy the shard last reported
 }
 
 // ShardInfos returns every shard's state, sorted by address.
@@ -508,13 +555,16 @@ func (c *Coordinator) ShardInfos() []ShardInfo {
 	out := make([]ShardInfo, 0, len(c.shards))
 	for _, st := range c.shards {
 		out = append(out, ShardInfo{
-			Addr:       st.addr,
-			Up:         st.up,
-			Synced:     st.synced,
-			Misses:     st.misses,
-			Sensors:    int(st.last.Sensors),
-			MapVersion: st.last.MapVersion,
-			LastSeen:   st.lastAt,
+			Addr:          st.addr,
+			Up:            st.up,
+			Synced:        st.synced,
+			Misses:        st.misses,
+			Sensors:       int(st.last.Sensors),
+			MapVersion:    st.last.MapVersion,
+			LastSeen:      st.lastAt,
+			LastRTTMS:     float64(st.lastRTT) / float64(time.Millisecond),
+			Traced:        st.traced.Load(),
+			MergeSessions: int(st.last.Sessions),
 		})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Addr < out[j].Addr })
@@ -570,6 +620,11 @@ func (c *Coordinator) Ingest(r ingest.Reading) error {
 // least one owning shard accepted it.
 func (c *Coordinator) IngestBatch(rs []ingest.Reading) []error {
 	errs := make([]error, len(rs))
+	// One trace ID covers the whole batch: the UDP and HTTP ingest front
+	// doors hand the coordinator batches, not single readings, and the
+	// batch is the unit that fans out and persists.
+	trace := c.traceIDs.next()
+	startBatch := time.Now()
 
 	// Phase 1 (under the lock): gate, stamp, group by shard. Identity
 	// assignment must be serialized so replicas agree on sequence
@@ -579,7 +634,7 @@ func (c *Coordinator) IngestBatch(rs []ingest.Reading) []error {
 	}
 	perShard := make(map[string][]core.Point)
 	perShardIdx := make(map[string][]routed)
-	accepted := make([]int, len(rs)) // owning shards that took reading i
+	accepted := make([]int, len(rs))            // owning shards that took reading i
 	var advanced map[core.NodeID]store.Identity // identity floors moved by this batch
 
 	c.mu.Lock()
@@ -652,7 +707,7 @@ func (c *Coordinator) IngestBatch(rs []ingest.Reading) []error {
 		for _, id := range advanced {
 			ids = append(ids, id)
 		}
-		c.persistIdentities(ids)
+		c.persistIdentities(trace, ids)
 	}
 
 	// Phase 2: fan the per-shard batches out concurrently. A failed
@@ -666,7 +721,7 @@ func (c *Coordinator) IngestBatch(rs []ingest.Reading) []error {
 		wg.Add(1)
 		go func(addr string, pts []core.Point, idx []routed) {
 			defer wg.Done()
-			if !c.sendReadings(addr, pts) {
+			if !c.sendReadings(addr, trace, pts) {
 				return
 			}
 			ackMu.Lock()
@@ -678,17 +733,34 @@ func (c *Coordinator) IngestBatch(rs []ingest.Reading) []error {
 	}
 	wg.Wait()
 
+	routedN, failedN := 0, 0
 	for i := range rs {
 		if errs[i] != nil {
+			if errors.Is(errs[i], ErrNoHealthyShard) {
+				failedN++
+			}
 			continue
 		}
 		if accepted[i] == 0 {
 			errs[i] = ErrRouteFailed
 			c.failed.Add(1)
+			failedN++
 			continue
 		}
 		c.routed.Add(1)
+		routedN++
 	}
+	span := obs.Span{
+		Trace:  trace,
+		Op:     obs.OpIngestBatch,
+		Points: int32(routedN),
+		Start:  startBatch,
+		Dur:    time.Since(startBatch),
+	}
+	if failedN > 0 {
+		span.Err = fmt.Sprintf("%d readings unrouted", failedN)
+	}
+	c.traceLog.Record(span)
 	return errs
 }
 
@@ -710,11 +782,15 @@ func (c *Coordinator) healthyOwnersLocked(sensor core.NodeID) (owners []string, 
 }
 
 // sendReadings ships one shard's batch as chunked READINGS frames with
-// retries, reporting whether every chunk was acknowledged.
-func (c *Coordinator) sendReadings(addr string, pts []core.Point) bool {
+// retries, reporting whether every chunk was acknowledged. trace is
+// stamped onto the frames when the shard negotiated tracing.
+func (c *Coordinator) sendReadings(addr string, trace uint64, pts []core.Point) bool {
 	st := c.shardState(addr)
 	if st == nil {
 		return false
+	}
+	if !st.traced.Load() {
+		trace = 0
 	}
 	perAttempt := c.cfg.QueryTimeout / time.Duration(c.cfg.RetryAttempts)
 	for _, chunk := range chunkByBytes(pts, c.cfg.MaxFrameBytes) {
@@ -722,7 +798,7 @@ func (c *Coordinator) sendReadings(addr string, pts []core.Point) bool {
 			continue
 		}
 		err := retry(c.ctx, c.cfg.RetryAttempts, perAttempt, func(ctx context.Context) error {
-			_, err := c.client.readings(ctx, st.udp, chunk)
+			_, err := c.client.readings(ctx, st.udp, trace, chunk)
 			return err
 		})
 		if err != nil {
@@ -751,6 +827,7 @@ type MergeResult struct {
 	Mode         string // MergeCompact or MergeFull (after any fallback)
 	Rounds       int    // compact rounds driven (0 on the full path)
 	PayloadBytes int    // point payload moved for this query
+	Trace        uint64 // the query's trace ID (key into /debug/traces)
 
 	MapVersion  uint64
 	ShardsTotal int // shards in the map
@@ -780,16 +857,37 @@ func (c *Coordinator) MergedEstimateMode(ctx context.Context, mode string) (Merg
 		return MergeResult{}, fmt.Errorf("cluster: unknown merge mode %q", mode)
 	}
 	start := time.Now()
+	// Every query gets a trace ID, minted here at the front door. It is
+	// returned in the result, stamped onto shard-control frames at shards
+	// that negotiated tracing, and keys every span the query emits.
+	traceID := c.traceIDs.next()
 	// finish stamps the query's service time (observed under the mode
-	// that actually served the answer) and applies the slow-query log.
+	// that actually served the answer), records the root query span, and
+	// applies the slow-query log.
 	finish := func(res MergeResult, err error) (MergeResult, error) {
 		elapsed := time.Since(start)
+		res.Trace = traceID
 		if err == nil {
 			c.obs.queryLat.With(res.Mode).Observe(elapsed.Seconds())
 		}
+		span := obs.Span{
+			Trace:  traceID,
+			Op:     obs.OpQuery,
+			Round:  int32(res.Rounds),
+			Points: int32(len(res.Outliers)),
+			Bytes:  int32(res.PayloadBytes),
+			Start:  start,
+			Dur:    elapsed,
+		}
+		if err != nil {
+			span.Err = err.Error()
+		}
+		c.traceLog.Record(span)
 		if c.cfg.SlowQuery > 0 && elapsed >= c.cfg.SlowQuery {
-			c.cfg.Logf("cluster: slow query: merge mode %q took %v (threshold %v, rounds %d, payload %dB)",
-				mode, elapsed.Round(time.Microsecond), c.cfg.SlowQuery, res.Rounds, res.PayloadBytes)
+			c.cfg.Logger.Warn("slow query",
+				"trace", traceHex(traceID), "mode", mode,
+				"elapsed", elapsed.Round(time.Microsecond), "threshold", c.cfg.SlowQuery,
+				"rounds", res.Rounds, "payload_bytes", res.PayloadBytes)
 		}
 		return res, err
 	}
@@ -822,22 +920,22 @@ func (c *Coordinator) MergedEstimateMode(ctx context.Context, mode string) (Merg
 	ctx, cancel := context.WithTimeout(ctx, c.cfg.QueryTimeout)
 	defer cancel()
 
-	// trace, non-nil once a compact session ran, is recorded into the
+	// mtrace, non-nil once a compact session ran, is recorded into the
 	// /debug/merges ring — on success here, or after the fallback full
 	// path below fills in how the session ended. Pure-full queries leave
-	// no trace: the ring is the Algorithm 1 cost record.
-	var trace *obs.MergeTrace
+	// no merge trace: the ring is the Algorithm 1 cost record.
+	var mtrace *obs.MergeTrace
 
 	if mode == MergeCompact {
 		// The compact path needs every target to answer every round, so
 		// give it half the query budget and keep the rest for the
 		// full-window fallback should a shard die mid-session.
 		compactCtx, ccancel := context.WithTimeout(ctx, c.cfg.QueryTimeout/2)
-		cres, err := c.compactMerge(compactCtx, targets)
+		cres, err := c.compactMerge(compactCtx, targets, traceID)
 		ccancel()
 		c.mergeRounds.Add(uint64(cres.rounds))
 		c.mergeBytes.Add(uint64(cres.payload))
-		trace = &obs.MergeTrace{
+		mtrace = &obs.MergeTrace{
 			Session:    fmt.Sprintf("%016x", cres.session),
 			Requested:  MergeCompact,
 			Rounds:     cres.trace,
@@ -862,16 +960,31 @@ func (c *Coordinator) MergedEstimateMode(ctx context.Context, mode string) (Merg
 			if res.Degraded {
 				c.mergesDegraded.Add(1)
 			}
-			trace.Final = MergeCompact
-			trace.Degraded = res.Degraded
-			trace.Outliers = len(res.Outliers)
-			trace.DurationMS = float64(time.Since(start)) / float64(time.Millisecond)
-			c.mergeLog.Record(*trace)
+			mtrace.Final = MergeCompact
+			mtrace.Degraded = res.Degraded
+			mtrace.Outliers = len(res.Outliers)
+			mtrace.DurationMS = float64(time.Since(start)) / float64(time.Millisecond)
+			c.mergeLog.Record(*mtrace)
 			return finish(res, nil)
 		}
-		trace.Fallback = err.Error()
+		mtrace.Fallback = err.Error()
 		c.mergeFallbacks.Add(1)
-		c.cfg.Logf("cluster: compact merge falling back to full after %d rounds: %v", cres.rounds, err)
+		// The fallback event carries the query's trace ID — the span and
+		// the log line tie the abandoned compact rounds to the full-path
+		// rescue that follows.
+		c.traceLog.Record(obs.Span{
+			Trace:   traceID,
+			Op:      obs.OpMergeFallback,
+			Session: cres.session,
+			Round:   int32(cres.rounds),
+			Bytes:   int32(cres.payload),
+			Err:     err.Error(),
+			Start:   start,
+			Dur:     time.Since(start),
+		})
+		c.cfg.Logger.Warn("compact merge falling back to full",
+			"trace", traceHex(traceID), "session", traceHex(cres.session),
+			"rounds", cres.rounds, "err", err)
 	}
 
 	perAttempt := c.cfg.QueryTimeout / time.Duration(c.cfg.RetryAttempts)
@@ -886,13 +999,31 @@ func (c *Coordinator) MergedEstimateMode(ctx context.Context, mode string) (Merg
 		wg.Add(1)
 		go func(st *shardState) {
 			defer wg.Done()
+			shardTrace := traceID
+			if !st.traced.Load() {
+				shardTrace = 0
+			}
+			shardStart := time.Now()
 			var pts []core.Point
 			var nb int
 			err := retry(ctx, c.cfg.RetryAttempts, perAttempt, func(ctx context.Context) error {
 				var err error
-				pts, nb, err = c.client.estimate(ctx, st.udp)
+				pts, nb, err = c.client.estimate(ctx, st.udp, shardTrace)
 				return err
 			})
+			span := obs.Span{
+				Trace:  traceID,
+				Op:     obs.OpMergeFull,
+				Shard:  st.addr,
+				Points: int32(len(pts)),
+				Bytes:  int32(nb),
+				Start:  shardStart,
+				Dur:    time.Since(shardStart),
+			}
+			if err != nil {
+				span.Err = err.Error()
+			}
+			c.traceLog.Record(span)
 			if err != nil {
 				return
 			}
@@ -922,15 +1053,15 @@ func (c *Coordinator) MergedEstimateMode(ctx context.Context, mode string) (Merg
 	if res.Degraded {
 		c.mergesDegraded.Add(1)
 	}
-	if trace != nil {
+	if mtrace != nil {
 		// A fallen-back compact session: record how it ended so the ring
 		// shows both the abandoned exchange and what the rescue cost.
-		trace.Final = MergeFull
-		trace.Degraded = res.Degraded
-		trace.FullBytes = bytes
-		trace.Outliers = len(res.Outliers)
-		trace.DurationMS = float64(time.Since(start)) / float64(time.Millisecond)
-		c.mergeLog.Record(*trace)
+		mtrace.Final = MergeFull
+		mtrace.Degraded = res.Degraded
+		mtrace.FullBytes = bytes
+		mtrace.Outliers = len(res.Outliers)
+		mtrace.DurationMS = float64(time.Since(start)) / float64(time.Millisecond)
+		c.mergeLog.Record(*mtrace)
 	}
 	if ok == 0 && total > 0 {
 		return finish(res, errors.New("cluster: no shard answered the estimate query"))
@@ -973,7 +1104,7 @@ func (c *Coordinator) AddShard(addr string) error {
 		st.synced = false
 	}
 	c.mu.Unlock()
-	c.cfg.Logf("cluster: shard %s added (map v%d)", addr, newMap.Version())
+	c.cfg.Logger.Info("shard added", "shard", addr, "map_version", newMap.Version())
 	c.kickResyncs()
 	return nil
 }
@@ -1046,7 +1177,7 @@ func (c *Coordinator) RemoveShard(addr string) error {
 		other.synced = false
 	}
 	c.mu.Unlock()
-	c.cfg.Logf("cluster: shard %s removed (map v%d)", addr, newMap.Version())
+	c.cfg.Logger.Info("shard removed", "shard", addr, "map_version", newMap.Version())
 	c.kickResyncs()
 	return nil
 }
@@ -1117,7 +1248,7 @@ func (c *Coordinator) moveSensor(sensor core.NodeID, src *shardState, dsts []str
 	if moved {
 		c.handoffSen.Add(1)
 		c.handoffPts.Add(uint64(len(pts)))
-		c.cfg.Logf("cluster: sensor %d handed off (%d points)", sensor, len(pts))
+		c.cfg.Logger.Info("sensor handed off", "sensor", uint64(sensor), "points", len(pts))
 	}
 }
 
@@ -1156,12 +1287,13 @@ func (c *Coordinator) healthLoop() {
 		for _, st := range targets {
 			go func(st *shardState) {
 				ctx, cancel := context.WithTimeout(c.ctx, c.cfg.ProbeTimeout)
-				h, err := c.client.health(ctx, st.udp)
+				probeStart := time.Now()
+				h, traced, err := c.client.health(ctx, st.udp)
 				cancel()
 				if err != nil {
 					c.noteMiss(st)
 				} else {
-					c.noteUp(st, h)
+					c.noteUp(st, h, traced, time.Since(probeStart))
 				}
 				c.mu.Lock()
 				st.probing = false
@@ -1179,22 +1311,25 @@ func (c *Coordinator) noteMiss(st *shardState) {
 		st.up = false
 		st.synced = false
 		c.flaps.Add(1)
-		c.cfg.Logf("cluster: shard %s marked down after %d missed probes", st.addr, st.misses)
+		c.cfg.Logger.Warn("shard marked down", "shard", st.addr, "misses", st.misses)
 	}
 }
 
-func (c *Coordinator) noteUp(st *shardState, h protocol.HealthBody) {
+func (c *Coordinator) noteUp(st *shardState, h protocol.HealthBody, traced bool, rtt time.Duration) {
 	c.mu.Lock()
 	wasDown := !st.up
 	st.up = true
 	st.misses = 0
 	st.last = h
 	st.lastAt = time.Now()
+	st.lastRTT = rtt
+	st.traced.Store(traced)
 	version := c.smap.Version()
 	needSync := wasDown || !st.synced || h.MapVersion != version
 	c.mu.Unlock()
 	if wasDown {
-		c.cfg.Logf("cluster: shard %s back up (reports map v%d)", st.addr, h.MapVersion)
+		c.cfg.Logger.Info("shard back up",
+			"shard", st.addr, "map_version", h.MapVersion, "traced", traced)
 	}
 	if needSync {
 		go c.resync(st)
@@ -1307,6 +1442,10 @@ func (c *Coordinator) resync(st *shardState) {
 	}
 	c.mu.Unlock()
 	if restored > 0 {
-		c.cfg.Logf("cluster: shard %s resynced, %d sensors restored by handoff", st.addr, restored)
+		c.cfg.Logger.Info("shard resynced", "shard", st.addr, "sensors_restored", restored)
 	}
 }
+
+// traceHex renders a trace or session ID the way every JSON surface
+// does — 16 hex digits — so log lines grep against /debug/traces.
+func traceHex(id uint64) string { return fmt.Sprintf("%016x", id) }

@@ -11,6 +11,7 @@ import (
 
 	"innet/internal/core"
 	"innet/internal/ingest"
+	"innet/internal/obs"
 )
 
 // The coordinator speaks the same observation wire format as innetd
@@ -29,6 +30,7 @@ type WireMergedEstimate struct {
 	MergeMode    string               `json:"merge_mode"`    // compact or full (after any fallback)
 	Rounds       int                  `json:"rounds"`        // compact rounds driven
 	PayloadBytes int                  `json:"payload_bytes"` // point payload moved for this query
+	Trace        string               `json:"trace"`         // this query's trace ID (hex); key for /debug/traces
 	// Window, present with ?window=1, is the point set the answer was
 	// computed over: the merged window union on the full path, the
 	// provably sufficient candidate set C on the compact path. External
@@ -47,6 +49,9 @@ type WireMergedEstimate struct {
 //	GET    /healthz           liveness + shard counts
 //	GET    /metrics           counters + histograms in Prometheus text format
 //	GET    /debug/merges      recorded compact-merge session traces (JSON)
+//	GET    /debug/traces      recorded query spans (?trace=<hex> filters)
+//	GET    /debug/status      one-snapshot cluster view: shards, health,
+//	                          identity/WAL state, build info
 func (c *Coordinator) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/observations", c.handleObservations)
@@ -57,6 +62,8 @@ func (c *Coordinator) Handler() http.Handler {
 	mux.HandleFunc("GET /healthz", c.handleHealth)
 	mux.HandleFunc("GET /metrics", c.handleMetrics)
 	mux.Handle("GET /debug/merges", c.mergeLog.Handler())
+	mux.Handle("GET /debug/traces", c.traceLog.Handler())
+	mux.HandleFunc("GET /debug/status", c.handleStatus)
 	return mux
 }
 
@@ -126,6 +133,7 @@ func (c *Coordinator) handleOutliers(w http.ResponseWriter, r *http.Request) {
 		MergeMode:    res.Mode,
 		Rounds:       res.Rounds,
 		PayloadBytes: res.PayloadBytes,
+		Trace:        traceHex(res.Trace),
 	}
 	for _, p := range res.Outliers {
 		resp.Outliers = append(resp.Outliers, ingest.WireOutlier{
@@ -188,6 +196,52 @@ func (c *Coordinator) handleHealth(w http.ResponseWriter, _ *http.Request) {
 		"shards_up":    st.ShardsUp,
 		"shards_total": st.ShardsTotal,
 		"sensors":      st.Sensors,
+	})
+}
+
+// WireStatus is the GET /debug/status response body: the whole cluster
+// in one JSON snapshot, aggregating what /healthz, /v1/shards, and
+// /metrics each show a slice of.
+type WireStatus struct {
+	Status         string        `json:"status"` // ok, degraded or down
+	ShardsUp       int           `json:"shards_up"`
+	ShardsTotal    int           `json:"shards_total"`
+	Sensors        int           `json:"sensors"`
+	MapVersion     uint64        `json:"map_version"`
+	MergeMode      string        `json:"merge_mode"`
+	Shards         []ShardInfo   `json:"shards"`
+	IdentitySource string        `json:"identity_source"` // store, shard-fan or none
+	Recovered      uint64        `json:"recovered"`       // identity counters recovered at startup
+	WALErrors      uint64        `json:"wal_errors"`
+	Traces         uint64        `json:"traces"` // spans recorded so far
+	Build          obs.BuildInfo `json:"build_info"`
+}
+
+// handleStatus serves the cluster-wide status snapshot: shard map +
+// health + probe RTTs + merge-session occupancy (via ShardInfos),
+// identity floor / WAL state, and build info.
+func (c *Coordinator) handleStatus(w http.ResponseWriter, _ *http.Request) {
+	st := c.Stats()
+	status := "ok"
+	if st.ShardsUp < st.ShardsTotal {
+		status = "degraded"
+	}
+	if st.ShardsUp == 0 {
+		status = "down"
+	}
+	writeJSON(w, http.StatusOK, WireStatus{
+		Status:         status,
+		ShardsUp:       st.ShardsUp,
+		ShardsTotal:    st.ShardsTotal,
+		Sensors:        st.Sensors,
+		MapVersion:     c.ShardMapSnapshot().Version(),
+		MergeMode:      c.cfg.MergeMode,
+		Shards:         c.ShardInfos(),
+		IdentitySource: st.IdentitySource,
+		Recovered:      st.Recovered,
+		WALErrors:      st.WALErrors,
+		Traces:         c.traceLog.Total(),
+		Build:          obs.ReadBuild(),
 	})
 }
 

@@ -90,8 +90,10 @@ type compactResult struct {
 // returns an error — and the rounds/payload spent — when any target
 // fails an exchange (the caller falls back to the full-window path) or
 // the round budget is exhausted. On success the result is exact for the
-// union of the targets' windows.
-func (c *Coordinator) compactMerge(ctx context.Context, targets []*shardState) (compactResult, error) {
+// union of the targets' windows. trace is the query's trace ID; it is
+// stamped onto the merge frames of shards that negotiated tracing, and
+// every round records one coordinator-side span per shard.
+func (c *Coordinator) compactMerge(ctx context.Context, targets []*shardState, trace uint64) (compactResult, error) {
 	session := c.sessionIDs.next()
 	cand := core.NewSet()
 	ledgers := make([]*core.Set, len(targets))
@@ -132,6 +134,8 @@ func (c *Coordinator) compactMerge(ctx context.Context, targets []*shardState) (
 		type reply struct {
 			pts        []core.Point
 			sent, recv int
+			reqID      uint32
+			start      time.Time
 			rtt        time.Duration
 			err        error
 		}
@@ -141,38 +145,50 @@ func (c *Coordinator) compactMerge(ctx context.Context, targets []*shardState) (
 			wg.Add(1)
 			go func(i int, st *shardState) {
 				defer wg.Done()
+				// Stamp the trace only at shards that negotiated tracing
+				// over a HEALTH probe; a zero trace leaves frames in the
+				// legacy byte layout.
+				shardTrace := trace
+				if !st.traced.Load() {
+					shardTrace = 0
+				}
 				start := time.Now()
 				sent := 0
 				for _, chunk := range chunkByBytes(deltas[i], c.cfg.MaxFrameBytes) {
 					if len(chunk) == 0 {
 						continue
 					}
+					// One reqID per logical chunk, reused across retry
+					// attempts: the shard's dedupe and replay machinery
+					// must see a resend, not a fresh request.
+					reqID := c.client.newReqID()
 					var nb int
 					err := retry(ctx, c.cfg.RetryAttempts, perAttempt, func(ctx context.Context) error {
 						var err error
-						nb, err = c.client.ledger(ctx, st.udp, session, chunk)
+						nb, err = c.client.ledger(ctx, st.udp, reqID, shardTrace, session, chunk)
 						return err
 					})
 					if err != nil {
-						replies[i] = reply{sent: sent, rtt: time.Since(start),
+						replies[i] = reply{sent: sent, reqID: reqID, start: start, rtt: time.Since(start),
 							err: fmt.Errorf("ledger to %s: %w", st.addr, err)}
 						return
 					}
 					sent += nb
 				}
+				reqID := c.client.newReqID()
 				var pts []core.Point
 				var nb int
 				err := retry(ctx, c.cfg.RetryAttempts, perAttempt, func(ctx context.Context) error {
 					var err error
-					pts, nb, err = c.client.sufficient(ctx, st.udp, session, uint16(round))
+					pts, nb, err = c.client.sufficient(ctx, st.udp, reqID, shardTrace, session, uint16(round))
 					return err
 				})
 				if err != nil {
-					replies[i] = reply{sent: sent, rtt: time.Since(start),
+					replies[i] = reply{sent: sent, reqID: reqID, start: start, rtt: time.Since(start),
 						err: fmt.Errorf("sufficient from %s: %w", st.addr, err)}
 					return
 				}
-				replies[i] = reply{pts: pts, sent: sent, recv: nb, rtt: time.Since(start)}
+				replies[i] = reply{pts: pts, sent: sent, recv: nb, reqID: reqID, start: start, rtt: time.Since(start)}
 			}(i, st)
 		}
 		wg.Wait()
@@ -194,6 +210,22 @@ func (c *Coordinator) compactMerge(ctx context.Context, targets []*shardState) (
 			}
 			rt.Bytes += rep.sent + rep.recv
 			res.payload += rep.sent + rep.recv
+			span := obs.Span{
+				Trace:   trace,
+				Op:      obs.OpMergeRound,
+				Shard:   targets[i].addr,
+				Session: session,
+				ReqID:   rep.reqID,
+				Round:   int32(round),
+				Points:  int32(len(rep.pts)),
+				Bytes:   int32(rep.sent + rep.recv),
+				Start:   rep.start,
+				Dur:     rep.rtt,
+			}
+			if rep.err != nil {
+				span.Err = rep.err.Error()
+			}
+			c.traceLog.Record(span)
 			if rep.err != nil {
 				rt.Shards[i].Err = rep.err.Error()
 				if firstErr == nil {

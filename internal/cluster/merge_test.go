@@ -28,9 +28,10 @@ type lossyProxy struct {
 	back  *net.UDPConn // shard-facing socket
 	shard *net.UDPAddr
 
-	mu     sync.Mutex
-	client *net.UDPAddr
-	rule   func(protocol.Frame) bool // true = drop; nil = pass all
+	mu      sync.Mutex
+	client  *net.UDPAddr
+	rule    func(protocol.Frame) bool            // true = drop; nil = pass all
+	rewrite func(protocol.Frame) *protocol.Frame // non-nil result replaces the frame
 }
 
 func newLossyProxy(t testing.TB, shardAddr string) *lossyProxy {
@@ -79,9 +80,16 @@ func (p *lossyProxy) pump(conn *net.UDPConn, forward func([]byte, *net.UDPAddr))
 		if f, err := protocol.DecodeFrame(buf[:n]); err == nil {
 			p.mu.Lock()
 			drop := p.rule != nil && p.rule(f)
+			rewrite := p.rewrite
 			p.mu.Unlock()
 			if drop {
 				continue
+			}
+			if rewrite != nil {
+				if nf := rewrite(f); nf != nil {
+					forward(protocol.EncodeFrame(*nf), from)
+					continue
+				}
 			}
 		}
 		out := make([]byte, n)
@@ -95,6 +103,15 @@ func (p *lossyProxy) pump(conn *net.UDPConn, forward func([]byte, *net.UDPAddr))
 func (p *lossyProxy) setRule(rule func(protocol.Frame) bool) {
 	p.mu.Lock()
 	p.rule = rule
+	p.mu.Unlock()
+}
+
+// setRewrite installs a frame rewriter applied to every decodable
+// control frame in both directions; returning non-nil re-encodes and
+// forwards the replacement instead of the original bytes.
+func (p *lossyProxy) setRewrite(rewrite func(protocol.Frame) *protocol.Frame) {
+	p.mu.Lock()
+	p.rewrite = rewrite
 	p.mu.Unlock()
 }
 
@@ -408,22 +425,22 @@ func TestMergeSessionEvictionRefused(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	if _, _, err := client.sufficient(ctx, addr, 1, 0); err != nil {
+	if _, _, err := client.sufficient(ctx, addr, 0, 0, 1, 0); err != nil {
 		t.Fatalf("session 1 round 0: %v", err)
 	}
 	// A second session evicts the first (cap is 1).
-	if _, _, err := client.sufficient(ctx, addr, 2, 0); err != nil {
+	if _, _, err := client.sufficient(ctx, addr, 0, 0, 2, 0); err != nil {
 		t.Fatalf("session 2 round 0: %v", err)
 	}
-	if _, _, err := client.sufficient(ctx, addr, 1, 1); !errors.Is(err, errUnknownSession) {
+	if _, _, err := client.sufficient(ctx, addr, 0, 0, 1, 1); !errors.Is(err, errUnknownSession) {
 		t.Fatalf("round 1 on evicted session: err = %v, want errUnknownSession", err)
 	}
 	pt := []core.Point{core.NewPoint(9, 0, 0, 55.3)}
-	if _, err := client.ledger(ctx, addr, 1, pt); !errors.Is(err, errUnknownSession) {
+	if _, err := client.ledger(ctx, addr, 0, 0, 1, pt); !errors.Is(err, errUnknownSession) {
 		t.Fatalf("ledger on evicted session: err = %v, want errUnknownSession", err)
 	}
 	// A fresh round 0 reopens the session cleanly.
-	if _, _, err := client.sufficient(ctx, addr, 1, 0); err != nil {
+	if _, _, err := client.sufficient(ctx, addr, 0, 0, 1, 0); err != nil {
 		t.Fatalf("reopened session 1 round 0: %v", err)
 	}
 }

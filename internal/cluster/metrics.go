@@ -135,6 +135,8 @@ func newCoordObs(c *Coordinator) *coordObs {
 		m.walCompact = r.Histogram("innetcoord_wal_compact_seconds",
 			"Duration of one whole identity-store snapshot rewrite.", b)
 	}
+	// Registered last so existing exposition order is undisturbed.
+	obs.RegisterBuildInfo(r)
 	return m
 }
 

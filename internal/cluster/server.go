@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"log/slog"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -13,6 +14,7 @@ import (
 
 	"innet/internal/core"
 	"innet/internal/ingest"
+	"innet/internal/obs"
 	"innet/internal/protocol"
 )
 
@@ -52,7 +54,7 @@ func chunkByBytes(pts []core.Point, budget int) [][]core.Point {
 type ShardServer struct {
 	svc      *ingest.Service
 	conn     *net.UDPConn
-	logf     func(string, ...any)
+	log      *slog.Logger
 	maxBytes int
 
 	mapVersion atomic.Uint64
@@ -112,8 +114,8 @@ type ShardServerConfig struct {
 	// falls back to the full-window path). Default 8.
 	MaxMergeSessions int
 
-	// Logf, when set, receives one line per control action.
-	Logf func(string, ...any)
+	// Logger receives structured control-action events. Nil discards.
+	Logger *slog.Logger
 }
 
 // NewShardServer binds the control listener. Call Serve to start
@@ -128,8 +130,8 @@ func NewShardServer(cfg ShardServerConfig) (*ShardServer, error) {
 	if cfg.MaxMergeSessions <= 0 {
 		cfg.MaxMergeSessions = 8
 	}
-	if cfg.Logf == nil {
-		cfg.Logf = func(string, ...any) {}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.New(slog.DiscardHandler)
 	}
 	udpAddr, err := net.ResolveUDPAddr("udp", cfg.Addr)
 	if err != nil {
@@ -143,7 +145,7 @@ func NewShardServer(cfg ShardServerConfig) (*ShardServer, error) {
 	return &ShardServer{
 		svc:         cfg.Service,
 		conn:        conn,
-		logf:        cfg.Logf,
+		log:         cfg.Logger,
 		maxBytes:    cfg.MaxFrameBytes,
 		sessions:    make(map[uint64]*mergeSession),
 		maxSessions: cfg.MaxMergeSessions,
@@ -190,7 +192,7 @@ func (s *ShardServer) Serve() error {
 		}
 		if truncatedDatagram(n, len(buf)) {
 			s.truncated.Add(1)
-			s.logf("shardctl: dropped truncated %dB datagram from %s", n, from)
+			s.log.Warn("dropped truncated datagram", "bytes", n, "from", from.String())
 			continue // tail lost in the kernel; the peer's retry covers it
 		}
 		f, err := protocol.DecodeFrame(buf[:n])
@@ -198,10 +200,20 @@ func (s *ShardServer) Serve() error {
 			continue // not ours / echo: drop
 		}
 		if f.Kind == protocol.FrameHealth {
-			s.finish(f, from, s.respond(from, f, protocol.FrameHealth, protocol.HealthBody{
+			body := protocol.HealthBody{
 				MapVersion: s.mapVersion.Load(),
 				Sensors:    uint16(len(s.svc.Sensors())),
-			}.Encode()))
+			}
+			enc := body.Encode()
+			if f.Traced() {
+				// A traced probe is the capability negotiation: echoing
+				// FlagTraced (via respond) advertises this shard speaks
+				// tracing, and the extended body reports merge-session
+				// cache occupancy for /debug/status.
+				body.Sessions = uint16(s.sessionCount())
+				enc = body.EncodeExtended()
+			}
+			s.finish(f, from, s.respond(from, f, protocol.FrameHealth, enc))
 			continue
 		}
 		select {
@@ -251,15 +263,28 @@ func (s *ShardServer) handle(f protocol.Frame, from *net.UDPAddr) {
 // finish logs a handler failure.
 func (s *ShardServer) finish(f protocol.Frame, from *net.UDPAddr, err error) {
 	if err != nil && s.ctx.Err() == nil {
-		s.logf("shardctl: %v from %s: %v", f.Kind, from, err)
+		s.log.Warn("handler failed", "kind", f.Kind.String(), "from", from.String(),
+			"trace", traceHex(f.Trace), "err", err)
 	}
 }
 
+// sessionCount reports live merge-session cache occupancy.
+func (s *ShardServer) sessionCount() int {
+	s.mergeMu.Lock()
+	defer s.mergeMu.Unlock()
+	return len(s.sessions)
+}
+
+// respond echoes the request's trace state: a traced request gets a
+// traced response carrying the same trace ID (possibly zero — a bare
+// FlagTraced echo is how the HEALTH negotiation says "I speak tracing"),
+// an untraced request gets the legacy byte layout.
 func (s *ShardServer) respond(to *net.UDPAddr, req protocol.Frame, kind protocol.FrameKind, body []byte) error {
 	frame := protocol.EncodeFrame(protocol.Frame{
 		Kind:  kind,
-		Flags: protocol.FlagResponse,
+		Flags: protocol.FlagResponse | (req.Flags & protocol.FlagTraced),
 		ReqID: req.ReqID,
+		Trace: req.Trace,
 		Body:  body,
 	})
 	_, err := s.conn.WriteToUDP(frame, to)
@@ -301,15 +326,17 @@ func (s *ShardServer) handleAssign(f protocol.Frame, from *net.UDPAddr) error {
 			_ = s.svc.Leave(id) // not-joined is fine: nothing to detach
 		}
 	}
-	s.logf("shardctl: ASSIGN v%d slot %d/%d, %d sensors, %d evictions",
-		body.MapVersion, body.ShardIndex, body.ShardCount, len(body.Sensors), len(body.Evict))
+	s.log.Info("ASSIGN adopted", "map_version", body.MapVersion,
+		"slot", body.ShardIndex, "of", body.ShardCount,
+		"sensors", len(body.Sensors), "evictions", len(body.Evict))
 	return s.respond(from, f, protocol.FrameAssign, protocol.AckBody{Count: s.mapVersion.Load()}.Encode())
 }
 
 // ingestPoints feeds identity-stamped points through the normal ingest
 // front door (validation, staleness gate, bounded queues) and reports
-// how many were admitted.
-func (s *ShardServer) ingestPoints(pts []core.Point) uint64 {
+// how many were admitted. trace propagates the frame's trace ID into
+// the readings' queue-wait and observe spans.
+func (s *ShardServer) ingestPoints(trace uint64, pts []core.Point) uint64 {
 	var accepted uint64
 	for _, p := range pts {
 		err := s.svc.Ingest(ingest.Reading{
@@ -318,6 +345,7 @@ func (s *ShardServer) ingestPoints(pts []core.Point) uint64 {
 			Values: p.Value,
 			Seq:    p.ID.Seq,
 			HasSeq: true,
+			Trace:  trace,
 		})
 		if err == nil {
 			accepted++
@@ -327,11 +355,21 @@ func (s *ShardServer) ingestPoints(pts []core.Point) uint64 {
 }
 
 func (s *ShardServer) handleReadings(f protocol.Frame, from *net.UDPAddr) error {
+	start := time.Now()
 	body, err := protocol.DecodeReadings(f.Body)
 	if err != nil {
 		return err
 	}
-	accepted := s.ingestPoints(body.Points)
+	accepted := s.ingestPoints(f.Trace, body.Points)
+	s.svc.Traces().Record(obs.Span{
+		Trace:  f.Trace,
+		ReqID:  f.ReqID,
+		Op:     obs.OpReadings,
+		Points: int32(accepted),
+		Bytes:  int32(len(f.Body)),
+		Start:  start,
+		Dur:    time.Since(start),
+	})
 	return s.respond(from, f, protocol.FrameAck, protocol.AckBody{Count: accepted}.Encode())
 }
 
@@ -352,12 +390,13 @@ func (s *ShardServer) handleHandoffTransfer(f protocol.Frame, from *net.UDPAddr)
 		if hi > len(body.Points) {
 			hi = len(body.Points)
 		}
-		accepted += s.ingestPoints(body.Points[lo:hi])
+		accepted += s.ingestPoints(f.Trace, body.Points[lo:hi])
 		if err := s.svc.Flush(s.ctx); err != nil {
 			return err
 		}
 	}
-	s.logf("shardctl: HANDOFF adopted sensor %d, %d/%d points", body.Sensor, accepted, len(body.Points))
+	s.log.Info("HANDOFF adopted", "sensor", uint64(body.Sensor),
+		"accepted", accepted, "points", len(body.Points))
 	return s.respond(from, f, protocol.FrameAck, protocol.AckBody{Count: accepted}.Encode())
 }
 
@@ -427,7 +466,7 @@ func fingerprintPoints(pts []core.Point) uint64 {
 // seed) is reused across sessions while the window fingerprint is
 // unchanged, so repeated queries over a quiet window skip straight to
 // the fixed point.
-func (s *ShardServer) mergeSession(id uint64, create bool) (*mergeSession, error) {
+func (s *ShardServer) mergeSession(id uint64, create bool, trace uint64) (*mergeSession, error) {
 	s.mergeMu.Lock()
 	if sess := s.sessions[id]; sess != nil {
 		sess.touched = time.Now()
@@ -441,6 +480,7 @@ func (s *ShardServer) mergeSession(id uint64, create bool) (*mergeSession, error
 
 	// Snapshot outside the lock: it round-trips every sensor's event
 	// loop and must not stall concurrent merge frames.
+	createStart := time.Now()
 	snap, err := s.svc.Snapshot(s.ctx)
 	if err != nil {
 		return nil, err
@@ -452,11 +492,22 @@ func (s *ShardServer) mergeSession(id uint64, create bool) (*mergeSession, error
 	if sess := s.sessions[id]; sess != nil {
 		return sess, nil // lost the creation race; use the winner's snapshot
 	}
+	hit := true // Hit: the cached merge source covered this snapshot
 	src := s.lastSrc
 	if src == nil || s.lastFP != fp || src.Len() != len(snap) {
+		hit = false
 		src = core.NewMergeSource(s.svc.DetectorConfig().Ranker, s.svc.DetectorConfig().N, snap)
 		s.lastSrc, s.lastFP = src, fp
 	}
+	s.svc.Traces().Record(obs.Span{
+		Trace:   trace,
+		Op:      obs.OpSessionCreate,
+		Session: id,
+		Points:  int32(len(snap)),
+		Hit:     hit,
+		Start:   createStart,
+		Dur:     time.Since(createStart),
+	})
 	now := time.Now()
 	var oldest uint64
 	oldestAt := now
@@ -483,11 +534,19 @@ func (s *ShardServer) mergeSession(id uint64, create bool) (*mergeSession, error
 
 // refuseSession answers a frame naming a merge session this shard no
 // longer holds; see mergeSession.
-func (s *ShardServer) refuseSession(to *net.UDPAddr, req protocol.Frame, kind protocol.FrameKind) error {
+func (s *ShardServer) refuseSession(to *net.UDPAddr, req protocol.Frame, kind protocol.FrameKind, session uint64) error {
+	s.svc.Traces().Record(obs.Span{
+		Trace:   req.Trace,
+		ReqID:   req.ReqID,
+		Op:      obs.OpSessionRefuse,
+		Session: session,
+		Start:   time.Now(),
+	})
 	frame := protocol.EncodeFrame(protocol.Frame{
 		Kind:  kind,
-		Flags: protocol.FlagResponse | protocol.FlagUnknownSession,
+		Flags: protocol.FlagResponse | protocol.FlagUnknownSession | (req.Flags & protocol.FlagTraced),
 		ReqID: req.ReqID,
+		Trace: req.Trace,
 	})
 	_, err := s.conn.WriteToUDP(frame, to)
 	return err
@@ -499,20 +558,31 @@ func (s *ShardServer) refuseSession(to *net.UDPAddr, req protocol.Frame, kind pr
 // ACK reports how many points were new. Ledger chunks never open a
 // session: only a round-0 SUFFICIENT does.
 func (s *ShardServer) handleLedger(f protocol.Frame, from *net.UDPAddr) error {
+	start := time.Now()
 	body, err := protocol.DecodeLedger(f.Body)
 	if err != nil {
 		return err
 	}
-	sess, err := s.mergeSession(body.Session, false)
+	sess, err := s.mergeSession(body.Session, false, f.Trace)
 	if err != nil {
 		return err
 	}
 	if sess == nil {
-		return s.refuseSession(from, f, protocol.FrameAck)
+		return s.refuseSession(from, f, protocol.FrameAck, body.Session)
 	}
 	sess.mu.Lock()
 	added := sess.link.Absorb(body.Points)
 	sess.mu.Unlock()
+	s.svc.Traces().Record(obs.Span{
+		Trace:   f.Trace,
+		ReqID:   f.ReqID,
+		Op:      obs.OpLedger,
+		Session: body.Session,
+		Points:  int32(added),
+		Bytes:   int32(len(f.Body)),
+		Start:   start,
+		Dur:     time.Since(start),
+	})
 	return s.respond(from, f, protocol.FrameAck, protocol.AckBody{Count: uint64(added)}.Encode())
 }
 
@@ -522,16 +592,17 @@ func (s *ShardServer) handleLedger(f protocol.Frame, from *net.UDPAddr) error {
 // delta instead of recomputing, so a lost response frame cannot advance
 // the ledger twice.
 func (s *ShardServer) handleSufficient(f protocol.Frame, from *net.UDPAddr) error {
+	start := time.Now()
 	body, err := protocol.DecodeSufficient(f.Body)
 	if err != nil {
 		return err
 	}
-	sess, err := s.mergeSession(body.Session, body.Round == 0)
+	sess, err := s.mergeSession(body.Session, body.Round == 0, f.Trace)
 	if err != nil {
 		return err
 	}
 	if sess == nil {
-		return s.refuseSession(from, f, protocol.FrameSufficient)
+		return s.refuseSession(from, f, protocol.FrameSufficient, body.Session)
 	}
 	sess.mu.Lock()
 	delta, ok := sess.rounds[body.Round]
@@ -540,6 +611,20 @@ func (s *ShardServer) handleSufficient(f protocol.Frame, from *net.UDPAddr) erro
 		sess.rounds[body.Round] = delta
 	}
 	sess.mu.Unlock()
+	// Hit marks a replay served from the per-round reply cache (a retried
+	// request); the reqID-keyed dedupe in the ring keeps the retry from
+	// recording a second span either way.
+	s.svc.Traces().Record(obs.Span{
+		Trace:   f.Trace,
+		ReqID:   f.ReqID,
+		Op:      obs.OpSufficient,
+		Session: body.Session,
+		Round:   int32(body.Round),
+		Points:  int32(len(delta)),
+		Hit:     ok,
+		Start:   start,
+		Dur:     time.Since(start),
+	})
 	chunks := chunkByBytes(delta, s.maxBytes)
 	for i, chunk := range chunks {
 		resp, err := protocol.SufficientBody{

@@ -94,7 +94,7 @@ func TestMergeSessionIDCollisionReplaysStaleRound(t *testing.T) {
 	}
 
 	// Query A opens session 7; its round 0 freezes the 3-point window.
-	first, _, err := client.sufficient(ctx, addr, 7, 0)
+	first, _, err := client.sufficient(ctx, addr, 0, 0, 7, 0)
 	if err != nil {
 		t.Fatalf("session 7 round 0: %v", err)
 	}
@@ -112,7 +112,7 @@ func TestMergeSessionIDCollisionReplaysStaleRound(t *testing.T) {
 
 	// Query B collides on session 7: its "fresh" round 0 is the replay
 	// of A's cached round over A's stale snapshot — the outlier is gone.
-	collided, _, err := client.sufficient(ctx, addr, 7, 0)
+	collided, _, err := client.sufficient(ctx, addr, 0, 0, 7, 0)
 	if err != nil {
 		t.Fatalf("colliding session 7 round 0: %v", err)
 	}
@@ -125,7 +125,7 @@ func TestMergeSessionIDCollisionReplaysStaleRound(t *testing.T) {
 
 	// A distinct ID — what the salted counter guarantees every query
 	// gets — freezes the current window and surfaces the outlier.
-	fresh, _, err := client.sufficient(ctx, addr, 8, 0)
+	fresh, _, err := client.sufficient(ctx, addr, 0, 0, 8, 0)
 	if err != nil {
 		t.Fatalf("session 8 round 0: %v", err)
 	}

@@ -1,0 +1,383 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"innet/internal/baseline"
+	"innet/internal/obs"
+	"innet/internal/protocol"
+)
+
+// wireSpan is the /debug/traces JSON shape the tests decode.
+type wireSpan struct {
+	Trace   string `json:"trace"`
+	Op      string `json:"op"`
+	Shard   string `json:"shard"`
+	Session string `json:"session"`
+	Err     string `json:"err"`
+}
+
+// fetchSpans GETs a /debug/traces URL and decodes the span list.
+func fetchSpans(t *testing.T, url string) []wireSpan {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body struct {
+		Total uint64     `json:"total"`
+		Spans []wireSpan `json:"spans"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatalf("%s: %v", url, err)
+	}
+	return body.Spans
+}
+
+// opCount tallies spans by op name.
+func opCount(spans []wireSpan) map[string]int {
+	out := make(map[string]int)
+	for _, s := range spans {
+		out[s.Op]++
+	}
+	return out
+}
+
+// waitTraced blocks until every shard is up and has negotiated trace
+// propagation over a health probe, so the query under test stamps its
+// frames instead of racing the first probe.
+func waitTraced(t *testing.T, coord *Coordinator) {
+	t.Helper()
+	waitFor(t, 15*time.Second, "shards traced", func() bool {
+		infos := coord.ShardInfos()
+		for _, si := range infos {
+			if !si.Up || !si.Traced {
+				return false
+			}
+		}
+		return len(infos) > 0
+	})
+}
+
+// TestQueryTraceEndToEnd is the tracing acceptance pin: one compact
+// query against a live 2-shard cluster yields, under a single trace ID,
+// coordinator-side round spans at its /debug/traces and shard-side
+// merge-session spans at each shard's /debug/traces.
+func TestQueryTraceEndToEnd(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	var shards []*testShard
+	var addrs []string
+	for i := 0; i < 2; i++ {
+		sh := startShard(t, "")
+		t.Cleanup(sh.stop)
+		shards = append(shards, sh)
+		addrs = append(addrs, sh.addr)
+	}
+	coord, err := New(Config{
+		Detector:       clusterDetCfg,
+		Shards:         addrs,
+		MergeMode:      MergeCompact,
+		QueryTimeout:   15 * time.Second,
+		HealthInterval: 50 * time.Millisecond,
+		HealthMisses:   1 << 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { coord.Close() })
+	waitTraced(t, coord)
+
+	for _, err := range coord.IngestBatch(trace(61, sensorRange(10), 4)) {
+		if err != nil {
+			t.Fatalf("ingest: %v", err)
+		}
+	}
+	for _, sh := range shards {
+		if err := sh.svc.Flush(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	coordSrv := httptest.NewServer(coord.Handler())
+	defer coordSrv.Close()
+	resp, err := http.Get(coordSrv.URL + "/v1/outliers")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var est WireMergedEstimate
+	err = json.NewDecoder(resp.Body).Decode(&est)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.MergeMode != MergeCompact {
+		t.Fatalf("query served by %q, want compact", est.MergeMode)
+	}
+	if est.Trace == "" || est.Trace == "0000000000000000" {
+		t.Fatalf("query response carries no trace ID: %q", est.Trace)
+	}
+
+	spans := fetchSpans(t, coordSrv.URL+"/debug/traces?trace="+est.Trace)
+	for _, s := range spans {
+		if s.Trace != est.Trace {
+			t.Fatalf("coordinator trace filter leaked span %+v", s)
+		}
+	}
+	ops := opCount(spans)
+	if ops["query"] != 1 || ops["merge_round"] == 0 {
+		t.Fatalf("coordinator spans = %v, want one query span and ≥1 merge_round", ops)
+	}
+
+	for _, sh := range shards {
+		shardSrv := httptest.NewServer(sh.svc.Handler())
+		spans := fetchSpans(t, shardSrv.URL+"/debug/traces?trace="+est.Trace)
+		shardSrv.Close()
+		ops := opCount(spans)
+		if ops["session_create"]+ops["sufficient"] == 0 {
+			t.Fatalf("shard %s recorded no session spans for trace %s (got %v)", sh.addr, est.Trace, ops)
+		}
+		for _, s := range spans {
+			if s.Trace != est.Trace {
+				t.Fatalf("shard %s trace filter leaked span %+v", sh.addr, s)
+			}
+		}
+	}
+}
+
+// TestRetryDoesNotDuplicateSpans injects frame loss that forces a retry
+// of every round's first SUFFICIENT response and pins the dedupe
+// contract: the retransmit reuses the request's reqID, so neither side
+// records a second span for the same logical round.
+func TestRetryDoesNotDuplicateSpans(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	coord, single, shards, proxies := mergeCluster(t, 2, MergeCompact)
+	waitTraced(t, coord)
+	feedBoth(t, ctx, coord, single, shards, trace(71, sensorRange(12), 5))
+	snap, err := single.Snapshot(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := baseline.Compute(clusterDetCfg.Ranker, clusterDetCfg.N, snap)
+
+	for _, px := range proxies {
+		seen := make(map[uint64]map[uint16]bool)
+		px.setRule(func(f protocol.Frame) bool {
+			if f.Kind != protocol.FrameSufficient || !f.Response() {
+				return false
+			}
+			body, err := protocol.DecodeSufficient(f.Body)
+			if err != nil {
+				return false
+			}
+			if seen[body.Session] == nil {
+				seen[body.Session] = make(map[uint16]bool)
+			}
+			if !seen[body.Session][body.Round] {
+				seen[body.Session][body.Round] = true
+				return true // first response of the round: lose it
+			}
+			return false
+		})
+	}
+	merged, err := coord.MergedEstimate(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.Mode != MergeCompact || !samePoints(merged.Outliers, want) {
+		t.Fatalf("retried merge wrong: mode=%q %s != %s", merged.Mode, ids(merged.Outliers), ids(want))
+	}
+
+	// Coordinator side: at most one merge_round span per (shard, round).
+	rounds := make(map[string]int)
+	for _, s := range coord.Traces().Snapshot(merged.Trace, 0) {
+		if s.Op != obs.OpMergeRound {
+			continue
+		}
+		key := fmt.Sprintf("%s/%d", s.Shard, s.Round)
+		if rounds[key]++; rounds[key] > 1 {
+			t.Fatalf("coordinator recorded %d merge_round spans for %s", rounds[key], key)
+		}
+	}
+	if len(rounds) == 0 {
+		t.Fatal("no merge_round spans recorded")
+	}
+	// Shard side: a retried SUFFICIENT must not double its span.
+	sawShardSpans := false
+	for _, sh := range shards {
+		perRound := make(map[string]int)
+		for _, s := range sh.svc.Traces().Snapshot(merged.Trace, 0) {
+			if s.Op != obs.OpSufficient {
+				continue
+			}
+			sawShardSpans = true
+			key := fmt.Sprintf("%x/%d", s.Session, s.Round)
+			if perRound[key]++; perRound[key] > 1 {
+				t.Fatalf("shard %s recorded %d sufficient spans for session/round %s", sh.addr, perRound[key], key)
+			}
+		}
+	}
+	if !sawShardSpans {
+		t.Fatal("no shard-side sufficient spans recorded for the query's trace")
+	}
+}
+
+// TestFallbackSpanSharesTrace kills a shard mid-query (its link goes
+// dark after the first SUFFICIENT response) and pins that the fallback
+// event lands in the same trace as the compact rounds that failed: one
+// /debug/traces lookup tells the whole story of the degraded query.
+func TestFallbackSpanSharesTrace(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	coord, single, shards, proxies := mergeCluster(t, 2, MergeCompact)
+	waitTraced(t, coord)
+	feedBoth(t, ctx, coord, single, shards, trace(83, sensorRange(12), 5))
+	snap, err := single.Snapshot(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := baseline.Compute(clusterDetCfg.Ranker, clusterDetCfg.N, snap)
+
+	dead := false
+	proxies[1].setRule(func(f protocol.Frame) bool {
+		if dead {
+			return true
+		}
+		if f.Kind == protocol.FrameSufficient && f.Response() {
+			dead = true
+		}
+		return false
+	})
+	merged, err := coord.MergedEstimate(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.Mode != MergeFull || !samePoints(merged.Outliers, want) {
+		t.Fatalf("mid-query kill merge wrong: mode=%q %s != %s", merged.Mode, ids(merged.Outliers), ids(want))
+	}
+
+	spans := coord.Traces().Snapshot(merged.Trace, 0)
+	var fallbacks, failedRounds, fullSnaps int
+	for _, s := range spans {
+		switch s.Op {
+		case obs.OpMergeFallback:
+			fallbacks++
+		case obs.OpMergeRound:
+			if s.Err != "" {
+				failedRounds++
+			}
+		case obs.OpMergeFull:
+			fullSnaps++
+		}
+	}
+	if fallbacks != 1 {
+		t.Fatalf("trace %016x holds %d merge_fallback spans, want 1", merged.Trace, fallbacks)
+	}
+	if failedRounds == 0 {
+		t.Fatalf("trace %016x holds no failed merge_round span alongside the fallback", merged.Trace)
+	}
+	if fullSnaps == 0 {
+		t.Fatalf("trace %016x holds no merge_full span for the fallback path", merged.Trace)
+	}
+}
+
+// TestNonStampingShardCompatibility runs the coordinator against shards
+// whose frames never carry the trace field (the proxy strips FlagTraced
+// in both directions, so probes land legacy-shaped and nothing is
+// echoed). Capability negotiation must leave those links unstamped and
+// the merge — compact included — must stay exact.
+func TestNonStampingShardCompatibility(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	coord, single, shards, proxies := mergeCluster(t, 1, MergeCompact)
+	for _, px := range proxies {
+		px.setRewrite(func(f protocol.Frame) *protocol.Frame {
+			if !f.Traced() {
+				return nil
+			}
+			f.Flags &^= protocol.FlagTraced
+			f.Trace = 0
+			return &f
+		})
+	}
+	feedBoth(t, ctx, coord, single, shards, trace(97, sensorRange(12), 5))
+	snap, err := single.Snapshot(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := baseline.Compute(clusterDetCfg.Ranker, clusterDetCfg.N, snap)
+
+	merged, err := coord.MergedEstimate(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.Mode != MergeCompact || !samePoints(merged.Outliers, want) {
+		t.Fatalf("non-stamping merge wrong: mode=%q %s != %s", merged.Mode, ids(merged.Outliers), ids(want))
+	}
+	for _, si := range coord.ShardInfos() {
+		if si.Traced {
+			t.Fatalf("shard %s marked traced behind a flag-stripping link", si.Addr)
+		}
+	}
+	// The coordinator still owns a trace for the query; the shards,
+	// never having seen the ID, must hold nothing under it.
+	if merged.Trace == 0 {
+		t.Fatal("query against non-stamping shards minted no trace ID")
+	}
+	if spans := coord.Traces().Snapshot(merged.Trace, 0); len(spans) == 0 {
+		t.Fatal("coordinator recorded no spans for the unstamped query")
+	}
+	for _, sh := range shards {
+		if spans := sh.svc.Traces().Snapshot(merged.Trace, 0); len(spans) != 0 {
+			t.Fatalf("shard %s holds %d spans for a trace that never crossed its wire", sh.addr, len(spans))
+		}
+	}
+}
+
+// TestStatusEndpoint pins the /debug/status aggregate: shard map +
+// health + per-shard probe state, identity/WAL fields, and build info
+// in one snapshot.
+func TestStatusEndpoint(t *testing.T) {
+	coord, _, _, _ := mergeCluster(t, 1, MergeCompact)
+	waitTraced(t, coord)
+	srv := httptest.NewServer(coord.Handler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/debug/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st WireStatus
+	err = json.NewDecoder(resp.Body).Decode(&st)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Status != "ok" || st.ShardsUp != 3 || st.ShardsTotal != 3 || len(st.Shards) != 3 {
+		t.Fatalf("status = %+v, want ok with 3/3 shards", st)
+	}
+	for _, si := range st.Shards {
+		if !si.Up || !si.Traced {
+			t.Fatalf("shard %s not up+traced in status: %+v", si.Addr, si)
+		}
+		if si.LastRTTMS <= 0 {
+			t.Fatalf("shard %s has no probe RTT: %+v", si.Addr, si)
+		}
+	}
+	if st.IdentitySource != "none" {
+		t.Fatalf("identity source = %q, want none (no store configured)", st.IdentitySource)
+	}
+	if st.Build.Go == "" {
+		t.Fatalf("build info missing Go version: %+v", st.Build)
+	}
+	if st.MergeMode != MergeCompact {
+		t.Fatalf("merge mode = %q", st.MergeMode)
+	}
+}

@@ -94,6 +94,7 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("DELETE /v1/sensors/{id}", s.handleLeave)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.Handle("GET /debug/traces", s.traces.Handler())
 	return mux
 }
 
@@ -141,9 +142,10 @@ func (s *Service) handleOutliers(w http.ResponseWriter, r *http.Request) {
 	defer func() {
 		elapsed := time.Since(start)
 		s.obs.queryLat.Observe(elapsed.Seconds())
-		if s.cfg.SlowQuery > 0 && elapsed >= s.cfg.SlowQuery && s.cfg.Logf != nil {
-			s.cfg.Logf("slow query: GET /v1/outliers?%s took %v (threshold %v)",
-				r.URL.RawQuery, elapsed.Round(time.Microsecond), s.cfg.SlowQuery)
+		if s.cfg.SlowQuery > 0 && elapsed >= s.cfg.SlowQuery {
+			s.cfg.Logger.Warn("slow query",
+				"query", "GET /v1/outliers?"+r.URL.RawQuery,
+				"elapsed", elapsed.Round(time.Microsecond), "threshold", s.cfg.SlowQuery)
 		}
 	}()
 	var id core.NodeID

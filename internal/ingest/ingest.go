@@ -59,6 +59,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
+	"log/slog"
 	"math"
 	"sort"
 	"sync"
@@ -66,6 +68,7 @@ import (
 	"time"
 
 	"innet/internal/core"
+	"innet/internal/obs"
 	"innet/internal/peer"
 	"innet/internal/store"
 )
@@ -95,6 +98,12 @@ type Reading struct {
 
 	Seq    uint32
 	HasSeq bool
+
+	// Trace, when nonzero, is the distributed trace ID the reading
+	// arrived under (a coordinator-stamped READINGS frame); the spans the
+	// reading's queue wait and batch observe emit carry it. Direct
+	// HTTP/UDP ingestion leaves it zero.
+	Trace uint64
 }
 
 // Validate checks the reading's shape (ID, timestamp, feature vector)
@@ -166,11 +175,23 @@ type Config struct {
 	CompactEvery int
 
 	// SlowQuery, when positive, logs every GET /v1/outliers that takes
-	// at least this long through Logf. Zero disables the slow-query log.
+	// at least this long through Logger. Zero disables the slow-query
+	// log.
 	SlowQuery time.Duration
 
-	// Logf receives the slow-query log lines; nil drops them.
-	Logf func(format string, args ...any)
+	// Logger receives structured service events (slow queries, shard
+	// control actions). Nil discards.
+	Logger *slog.Logger
+
+	// TraceSink, when set, receives every recorded span as one JSON line
+	// (the -trace-file flag); the in-memory /debug/traces ring records
+	// them regardless. Note the sink takes span recording off the
+	// zero-allocation path — it is an opt-in debugging aid.
+	TraceSink io.Writer
+
+	// SpanCapacity bounds the /debug/traces flight-recorder ring.
+	// Default 2048.
+	SpanCapacity int
 }
 
 func (c *Config) applyDefaults() {
@@ -185,6 +206,12 @@ func (c *Config) applyDefaults() {
 	}
 	if c.CompactEvery == 0 {
 		c.CompactEvery = 8192
+	}
+	if c.Logger == nil {
+		c.Logger = slog.New(slog.DiscardHandler)
+	}
+	if c.SpanCapacity < 1 {
+		c.SpanCapacity = 2048
 	}
 }
 
@@ -204,10 +231,12 @@ type Stats struct {
 }
 
 // queued is one admitted observation plus its enqueue instant, so the
-// feeder can observe how long the reading waited in the queue.
+// feeder can observe how long the reading waited in the queue, and the
+// trace ID it arrived under (0 for untraced front doors).
 type queued struct {
-	obs core.Observation
-	enq time.Time
+	obs   core.Observation
+	enq   time.Time
+	trace uint64
 }
 
 // sensor is one attached sensor: its peer, its bounded queue, and its
@@ -260,7 +289,8 @@ type Service struct {
 	dropped, stale, malformed   atomic.Uint64
 	unknown, joins, leaves      atomic.Uint64
 
-	obs *serviceObs // metrics registry + latency histograms, built in New
+	obs    *serviceObs   // metrics registry + latency histograms, built in New
+	traces *obs.TraceLog // /debug/traces flight-recorder ring of spans
 }
 
 // New validates cfg and returns a running (but empty) service. Sensors
@@ -284,6 +314,10 @@ func New(cfg Config) (*Service, error) {
 		sensors: make(map[core.NodeID]*sensor),
 	}
 	s.obs = newServiceObs(s)
+	s.traces = obs.NewTraceLog(cfg.SpanCapacity)
+	if cfg.TraceSink != nil {
+		s.traces.SetSink(cfg.TraceSink)
+	}
 	// Stores that expose SetTiming (the file store does, the in-memory
 	// reference does not bother) feed the WAL duration histograms.
 	if st, ok := cfg.Store.(interface {
@@ -470,8 +504,9 @@ func (s *Service) enqueue(sn *sensor, r Reading) error {
 		}
 	}
 	item := queued{
-		obs: core.Observation{Birth: r.At, Value: r.Values, Seq: r.Seq, Assigned: r.HasSeq},
-		enq: time.Now(),
+		obs:   core.Observation{Birth: r.At, Value: r.Values, Seq: r.Seq, Assigned: r.HasSeq},
+		enq:   time.Now(),
+		trace: r.Trace,
 	}
 	// Count the reading as pending before the send, not after: once the
 	// send lands the feeder may drain and observe it at any moment, and
@@ -515,16 +550,30 @@ func (s *Service) feed(sn *sensor) {
 		drained := time.Now()
 		s.obs.queueLat.Observe(drained.Sub(first.enq).Seconds())
 		batch := append(make([]core.Observation, 0, s.cfg.MaxBatch), first.obs)
+		trace := first.trace
 	drain:
 		for len(batch) < s.cfg.MaxBatch {
 			select {
 			case q := <-sn.queue:
 				s.obs.queueLat.Observe(drained.Sub(q.enq).Seconds())
 				batch = append(batch, q.obs)
+				if trace == 0 {
+					trace = q.trace
+				}
 			default:
 				break drain
 			}
 		}
+		// One enqueue→drain span per batch, carrying the first traced
+		// reading's ID: per-reading spans would flood the ring under
+		// burst, and the batch is the unit the detector observes anyway.
+		s.traces.Record(obs.Span{
+			Trace:  trace,
+			Op:     obs.OpEnqueue,
+			Points: int32(len(batch)),
+			Start:  first.enq,
+			Dur:    drained.Sub(first.enq),
+		})
 		now := time.Duration(sn.latest.Load())
 		for _, o := range batch {
 			if o.Birth > now {
@@ -538,10 +587,17 @@ func (s *Service) feed(sn *sensor) {
 			var minted []core.Point
 			minted, err = sn.peer.ObserveBatchMinted(s.ctx, now, batch)
 			if err == nil {
-				s.persist(sn, minted)
+				s.persist(sn, trace, minted)
 			}
 		}
 		s.obs.observeDur.Observe(time.Since(drained).Seconds())
+		s.traces.Record(obs.Span{
+			Trace:  trace,
+			Op:     obs.OpObserve,
+			Points: int32(len(batch)),
+			Start:  drained,
+			Dur:    time.Since(drained),
+		})
 		s.pending.Add(-int64(len(batch)))
 		if err != nil {
 			return // service shutting down
@@ -555,7 +611,7 @@ func (s *Service) feed(sn *sensor) {
 // triggers a background compaction when the WAL has grown enough. A
 // failed append is counted, not fatal: the fleet keeps serving from
 // memory and the gap closes at the next successful compaction.
-func (s *Service) persist(sn *sensor, minted []core.Point) {
+func (s *Service) persist(sn *sensor, trace uint64, minted []core.Point) {
 	if len(minted) == 0 {
 		return
 	}
@@ -568,6 +624,7 @@ func (s *Service) persist(sn *sensor, minted []core.Point) {
 			}
 		}
 	}
+	appendStart := time.Now()
 	s.appendMu.Lock()
 	if s.tailing {
 		// A compaction is snapshotting: this batch may miss the snapshot,
@@ -576,6 +633,17 @@ func (s *Service) persist(sn *sensor, minted []core.Point) {
 	}
 	err := s.cfg.Store.AppendReadings(recs)
 	s.appendMu.Unlock()
+	span := obs.Span{
+		Trace:  trace,
+		Op:     obs.OpWALAppend,
+		Points: int32(len(recs)),
+		Start:  appendStart,
+		Dur:    time.Since(appendStart),
+	}
+	if err != nil {
+		span.Err = err.Error()
+	}
+	s.traces.Record(span)
 	if err != nil {
 		s.walErrors.Add(1)
 		return
@@ -841,6 +909,12 @@ func (s *Service) HoldingsOf(ctx context.Context, id core.NodeID) ([]core.Point,
 	}
 	return held.Points(), nil
 }
+
+// Traces returns the service's span flight recorder — the ring the
+// daemon serves at /debug/traces. The shard-control server records its
+// session and exchange spans here too, so one endpoint shows a shard's
+// whole view of a distributed query.
+func (s *Service) Traces() *obs.TraceLog { return s.traces }
 
 // DetectorConfig returns the per-sensor detector configuration template
 // (Node is assigned per sensor at join). The cluster shard server uses

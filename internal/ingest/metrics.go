@@ -124,6 +124,8 @@ func newServiceObs(s *Service) *serviceObs {
 		m.walCompact = r.Histogram("innetd_wal_compact_seconds",
 			"Duration of one whole snapshot rewrite.", b)
 	}
+	// Registered last so existing exposition order is undisturbed.
+	obs.RegisterBuildInfo(r)
 	return m
 }
 

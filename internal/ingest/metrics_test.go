@@ -1,8 +1,8 @@
 package ingest
 
 import (
-	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"strings"
 	"sync"
@@ -161,16 +161,11 @@ func TestMetricsGolden(t *testing.T) {
 // A -slow-query threshold of one nanosecond flags every query. The
 // log line lands after the response is written (deferred), so poll.
 func TestSlowQueryLog(t *testing.T) {
-	var mu sync.Mutex
-	var logged []string
+	var buf lockedBuffer
 	cfg := testConfig()
 	cfg.AutoJoin = true
 	cfg.SlowQuery = time.Nanosecond
-	cfg.Logf = func(format string, args ...any) {
-		mu.Lock()
-		logged = append(logged, fmt.Sprintf(format, args...))
-		mu.Unlock()
-	}
+	cfg.Logger = slog.New(slog.NewTextHandler(&buf, nil))
 	_, srv := startHTTP(t, cfg)
 	resp, err := http.Get(srv.URL + "/v1/outliers?sensor=1")
 	if err != nil {
@@ -180,21 +175,34 @@ func TestSlowQueryLog(t *testing.T) {
 	resp.Body.Close()
 	deadline := time.Now().Add(5 * time.Second)
 	for {
-		mu.Lock()
-		n, first := len(logged), ""
-		if n > 0 {
-			first = logged[0]
-		}
-		mu.Unlock()
-		if n > 0 {
-			if !strings.Contains(first, "slow query") || !strings.Contains(first, "sensor=1") {
-				t.Fatalf("slow-query log = %q, want the query string flagged", first)
+		logged := buf.String()
+		if logged != "" {
+			if !strings.Contains(logged, "slow query") || !strings.Contains(logged, "sensor=1") {
+				t.Fatalf("slow-query log = %q, want the query string flagged", logged)
 			}
 			return
 		}
 		if time.Now().After(deadline) {
-			t.Fatal("no slow-query log line within the deadline")
+			t.Fatal("no slow-query log record within the deadline")
 		}
 		time.Sleep(5 * time.Millisecond)
 	}
+}
+
+// lockedBuffer is a goroutine-safe strings.Builder for log capture.
+type lockedBuffer struct {
+	mu sync.Mutex
+	sb strings.Builder
+}
+
+func (b *lockedBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.sb.Write(p)
+}
+
+func (b *lockedBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.sb.String()
 }

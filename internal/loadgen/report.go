@@ -80,9 +80,9 @@ type Report struct {
 	Attached    int     `json:"attached"` // physical sensors multiplexed onto
 	WallSeconds float64 `json:"wall_seconds"`
 
-	Fire        FireStats             `json:"fire"`
-	Ingest      IngestReport          `json:"ingest"`
-	Modes       map[string]ModeReport `json:"modes"`
+	Fire   FireStats             `json:"fire"`
+	Ingest IngestReport          `json:"ingest"`
+	Modes  map[string]ModeReport `json:"modes"`
 	// Server holds the daemons' own latency histograms over the run,
 	// keyed by family and labels, e.g.
 	// innetcoord_query_latency_seconds{mode="compact"}.

@@ -1,0 +1,61 @@
+package obs
+
+import (
+	"runtime"
+	"runtime/debug"
+	"sync"
+)
+
+// Build identity: both daemons export who they are — module version,
+// Go toolchain, VCS revision — as a conventional build_info gauge
+// (value 1, identity in the labels) and in the coordinator's
+// /debug/status snapshot, so a mixed-version fleet mid-rolling-upgrade
+// is diagnosable from its metrics alone.
+
+// BuildInfo is the resolved build identity of the running binary.
+type BuildInfo struct {
+	Version  string `json:"version"`  // main module version ("(devel)" for local builds)
+	Go       string `json:"go"`       // toolchain that built the binary
+	Revision string `json:"revision"` // VCS commit, "" when built outside a checkout
+	Modified bool   `json:"modified"` // VCS working tree was dirty at build
+}
+
+var readBuildOnce = sync.OnceValue(func() BuildInfo {
+	b := BuildInfo{Version: "unknown", Go: runtime.Version()}
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return b
+	}
+	if info.Main.Version != "" {
+		b.Version = info.Main.Version
+	}
+	if info.GoVersion != "" {
+		b.Go = info.GoVersion
+	}
+	for _, s := range info.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			b.Revision = s.Value
+		case "vcs.modified":
+			b.Modified = s.Value == "true"
+		}
+	}
+	return b
+})
+
+// ReadBuild resolves the running binary's build info (cached after the
+// first call; runtime/debug parses the embedded module data each time).
+func ReadBuild() BuildInfo {
+	return readBuildOnce()
+}
+
+// RegisterBuildInfo adds the build_info gauge to r and returns the
+// identity it exports. Registered last so existing series keep their
+// exposition order.
+func RegisterBuildInfo(r *Registry) BuildInfo {
+	b := ReadBuild()
+	labels := Label("version", b.Version) + "," + Label("go", b.Go) + "," + Label("revision", b.Revision)
+	r.LabeledGaugeFunc("build_info", "Build identity of the running binary; the value is always 1.",
+		func(emit func(labels string, v float64)) { emit(labels, 1) })
+	return b
+}

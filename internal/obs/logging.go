@@ -1,0 +1,26 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+)
+
+// NewLogger builds the daemons' structured logger from the -log-format
+// and -v flags: "text" (the default) or "json" output, Info level
+// normally, Debug with -v.
+func NewLogger(w io.Writer, format string, verbose bool) (*slog.Logger, error) {
+	level := slog.LevelInfo
+	if verbose {
+		level = slog.LevelDebug
+	}
+	opts := &slog.HandlerOptions{Level: level}
+	switch format {
+	case "", "text":
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	default:
+		return nil, fmt.Errorf("unknown log format %q (want text or json)", format)
+	}
+}

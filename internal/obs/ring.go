@@ -1,0 +1,45 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+)
+
+// One handler serves every ring log (/debug/merges, /debug/traces):
+// the rings bound what they *hold*, this bounds what they *serve* — a
+// curl against a long-lived daemon gets the newest defaultRingLimit
+// entries, never an unbounded body, and ?limit= moves the cap only up
+// to maxRingLimit.
+
+const (
+	defaultRingLimit = 64
+	maxRingLimit     = 1024
+)
+
+// ringLimit resolves the effective entry cap for one request.
+func ringLimit(r *http.Request) int {
+	n := defaultRingLimit
+	if s := r.URL.Query().Get("limit"); s != "" {
+		if v, err := strconv.Atoi(s); err == nil && v > 0 {
+			n = v
+		}
+	}
+	if n > maxRingLimit {
+		n = maxRingLimit
+	}
+	return n
+}
+
+// RingHandler serves {"total": N, <field>: snapshot} as JSON, where
+// snapshot receives the request (for filters like ?trace=) and the
+// resolved ?limit= cap and returns the newest-first entries to encode.
+func RingHandler(field string, total func() uint64, snapshot func(r *http.Request, limit int) any) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(map[string]any{
+			"total": total(),
+			field:   snapshot(r, ringLimit(r)),
+		})
+	})
+}

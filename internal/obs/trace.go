@@ -104,10 +104,20 @@ func (l *MergeLog) Record(t MergeTrace) {
 
 // Snapshot returns the held traces, newest first.
 func (l *MergeLog) Snapshot() []MergeTrace {
+	return l.SnapshotLimit(0)
+}
+
+// SnapshotLimit returns up to limit held traces, newest first; limit
+// <= 0 means no cap beyond the ring itself.
+func (l *MergeLog) SnapshotLimit(limit int) []MergeTrace {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	out := make([]MergeTrace, 0, len(l.buf))
-	for i := len(l.buf) - 1; i >= 0; i-- {
+	n := len(l.buf)
+	if limit > 0 && limit < n {
+		n = limit
+	}
+	out := make([]MergeTrace, 0, n)
+	for i := len(l.buf) - 1; i >= len(l.buf)-n; i-- {
 		out = append(out, l.buf[(l.next+i)%len(l.buf)])
 	}
 	return out
@@ -120,16 +130,10 @@ func (l *MergeLog) Total() uint64 {
 	return l.total
 }
 
-// Handler serves the ring as JSON: {"total": N, "merges": [newest, ...]}.
+// Handler serves the ring as JSON: {"total": N, "merges": [newest,
+// ...]}, capped by ?limit= like every ring endpoint.
 func (l *MergeLog) Handler() http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
-		l.mu.Lock()
-		total := l.total
-		l.mu.Unlock()
-		w.Header().Set("Content-Type", "application/json")
-		_ = json.NewEncoder(w).Encode(map[string]any{
-			"total":  total,
-			"merges": l.Snapshot(),
-		})
+	return RingHandler("merges", l.Total, func(_ *http.Request, limit int) any {
+		return l.SnapshotLimit(limit)
 	})
 }

@@ -7,13 +7,15 @@ package protocol
 // and its detector shard processes, over the same UDP substrate the live
 // peers use (peer.UDPTransport datagrams).
 //
-//	frame := magic:'C' ver:0x01 kind:uint8 flags:uint8 reqID:uint32 body
+//	frame := magic:'C' ver:0x01 kind:uint8 flags:uint8 reqID:uint32 [trace:uint64] body
 //
 // Multi-byte integers are big-endian, matching the detector wire. Every
 // request carries a caller-chosen reqID; the response echoes it with
 // FlagResponse set, which is all the correlation a UDP request/response
-// exchange needs. Bodies reuse core.EncodePoints wherever points travel,
-// so the point codec — including its fuzz harness — is shared.
+// exchange needs. The trace field is present exactly when FlagTraced is
+// set (see FlagTraced for the compatibility contract). Bodies reuse
+// core.EncodePoints wherever points travel, so the point codec —
+// including its fuzz harness — is shared.
 //
 // Kinds:
 //
@@ -134,6 +136,15 @@ const (
 	// path, because its own ledger already counts points the shard
 	// would no longer know about.
 	FlagUnknownSession = 1 << 2
+	// FlagTraced marks a frame that carries a 64-bit trace ID between
+	// the fixed header and the body. The field is optional by flag, not
+	// by version bump: an unflagged frame is byte-identical to the
+	// pre-tracing format, so a stamping coordinator and a legacy shard
+	// (or vice versa) interoperate — the side that does not understand
+	// tracing simply never sets the flag, and the exchange proceeds
+	// untraced. A tracing-aware responder echoes the flag and the ID so
+	// the requester learns the peer participates.
+	FlagTraced = 1 << 3
 )
 
 const (
@@ -151,22 +162,44 @@ type Frame struct {
 	Kind  FrameKind
 	Flags uint8
 	ReqID uint32
+	// Trace is the query-scoped trace ID, present on the wire only when
+	// FlagTraced is set (EncodeFrame sets the flag whenever Trace is
+	// nonzero). Zero means untraced.
+	Trace uint64
 	Body  []byte
 }
 
 // Response reports whether FlagResponse is set.
 func (f Frame) Response() bool { return f.Flags&FlagResponse != 0 }
 
-// EncodeFrame serializes a shard-control frame.
+// Traced reports whether FlagTraced is set.
+func (f Frame) Traced() bool { return f.Flags&FlagTraced != 0 }
+
+// EncodeFrame serializes a shard-control frame. A nonzero Trace forces
+// FlagTraced; a zero Trace with FlagTraced set is encoded as flagged
+// (the 8 trace bytes ride along as zeros), which responders use to echo
+// "I speak tracing" even on probes they answer without a query trace.
 func EncodeFrame(f Frame) []byte {
-	buf := make([]byte, 0, frameHeader+len(f.Body))
+	if f.Trace != 0 {
+		f.Flags |= FlagTraced
+	}
+	n := frameHeader
+	if f.Flags&FlagTraced != 0 {
+		n += 8
+	}
+	buf := make([]byte, 0, n+len(f.Body))
 	buf = append(buf, frameMagic, frameVersion, uint8(f.Kind), f.Flags)
 	buf = binary.BigEndian.AppendUint32(buf, f.ReqID)
+	if f.Flags&FlagTraced != 0 {
+		buf = binary.BigEndian.AppendUint64(buf, f.Trace)
+	}
 	return append(buf, f.Body...)
 }
 
 // DecodeFrame parses a datagram produced by EncodeFrame. The body is a
-// sub-slice of buf, not a copy.
+// sub-slice of buf, not a copy. A frame flagged FlagTraced must carry
+// the full 8-byte trace ID; a truncated trace field is a decode error,
+// never a silent fallthrough into misparsing the body.
 func DecodeFrame(buf []byte) (Frame, error) {
 	if len(buf) < frameHeader {
 		return Frame{}, fmt.Errorf("%w: %d bytes", ErrNotControlFrame, len(buf))
@@ -182,6 +215,13 @@ func DecodeFrame(buf []byte) (Frame, error) {
 	}
 	if f.Kind < FrameAssign || f.Kind > FrameSufficient {
 		return Frame{}, fmt.Errorf("protocol: unknown shard-control kind %d", buf[2])
+	}
+	if f.Flags&FlagTraced != 0 {
+		if len(f.Body) < 8 {
+			return Frame{}, fmt.Errorf("protocol: traced frame truncated at %d trace bytes: %w", len(f.Body), core.ErrTruncated)
+		}
+		f.Trace = binary.BigEndian.Uint64(f.Body)
+		f.Body = f.Body[8:]
 	}
 	return f, nil
 }
@@ -348,27 +388,45 @@ func DecodeEstimate(buf []byte) (EstimateBody, error) {
 }
 
 // HealthBody is the HEALTH response payload (the request body is empty).
+// Sessions — the shard's live merge-session count, surfaced so the
+// coordinator's /debug/status can report cache occupancy per shard —
+// rides in an optional trailing field: legacy shards encode 10 bytes,
+// tracing-aware shards answering a traced probe append it, and
+// DecodeHealth accepts both lengths so either end may be the old one.
 type HealthBody struct {
 	MapVersion uint64 // shard-map epoch the shard last adopted
 	Sensors    uint16 // sensors currently attached
+	Sessions   uint16 // live merge sessions (extended form only)
 }
 
-// Encode serializes the HEALTH body.
+// Encode serializes the HEALTH body in the legacy 10-byte form.
 func (b HealthBody) Encode() []byte {
 	buf := make([]byte, 0, 10)
 	buf = binary.BigEndian.AppendUint64(buf, b.MapVersion)
 	return binary.BigEndian.AppendUint16(buf, b.Sensors)
 }
 
-// DecodeHealth parses a HEALTH body.
+// EncodeExtended serializes the HEALTH body with the trailing Sessions
+// field. Only sent in response to a probe that proved the requester is
+// tracing-aware (FlagTraced): a legacy coordinator's strict decoder
+// would reject the longer body and count the probe as a miss.
+func (b HealthBody) EncodeExtended() []byte {
+	return binary.BigEndian.AppendUint16(b.Encode(), b.Sessions)
+}
+
+// DecodeHealth parses a HEALTH body, legacy or extended.
 func DecodeHealth(buf []byte) (HealthBody, error) {
-	if len(buf) != 10 {
+	if len(buf) != 10 && len(buf) != 12 {
 		return HealthBody{}, core.ErrTruncated
 	}
-	return HealthBody{
+	b := HealthBody{
 		MapVersion: binary.BigEndian.Uint64(buf),
 		Sensors:    binary.BigEndian.Uint16(buf[8:]),
-	}, nil
+	}
+	if len(buf) == 12 {
+		b.Sessions = binary.BigEndian.Uint16(buf[10:])
+	}
+	return b, nil
 }
 
 // ReadingsBody is the READINGS payload: a routed ingest batch. Each point

@@ -232,3 +232,83 @@ func TestFrameDecodeNeverPanics(t *testing.T) {
 		_, _ = DecodeSufficient(f.Body)
 	}
 }
+
+// TestFrameTraceRoundTrip pins the optional-trace-field contract: a
+// nonzero Trace travels (and forces FlagTraced), an explicitly flagged
+// zero trace travels as eight zero bytes (the capability echo), and the
+// decoded body excludes the trace prefix.
+func TestFrameTraceRoundTrip(t *testing.T) {
+	body, err := LedgerBody{Session: 5, Points: ctlPoints()}.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := Frame{Kind: FrameLedger, ReqID: 7, Trace: 0xabad1dea00c0ffee, Body: body}
+	out, err := DecodeFrame(EncodeFrame(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Traced() || out.Trace != in.Trace {
+		t.Fatalf("trace lost: got %+v", out)
+	}
+	if out.Kind != in.Kind || out.ReqID != in.ReqID || !bytes.Equal(out.Body, body) {
+		t.Fatalf("traced frame corrupted header or body: %+v", out)
+	}
+
+	// Zero trace + explicit flag: the "I speak tracing" echo.
+	echo, err := DecodeFrame(EncodeFrame(Frame{Kind: FrameHealth, Flags: FlagTraced, ReqID: 1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !echo.Traced() || echo.Trace != 0 || len(echo.Body) != 0 {
+		t.Fatalf("flagged zero-trace frame mangled: %+v", echo)
+	}
+}
+
+// TestFrameUntracedBytesIdentical pins backward compatibility at the
+// byte level: a frame without FlagTraced must encode exactly as it did
+// before the field existed — no length change, no flag bit — so legacy
+// peers see an unchanged wire format.
+func TestFrameUntracedBytesIdentical(t *testing.T) {
+	body := HealthBody{MapVersion: 3, Sensors: 9}.Encode()
+	enc := EncodeFrame(Frame{Kind: FrameHealth, Flags: FlagResponse, ReqID: 0x01020304, Body: body})
+	legacy := append([]byte{frameMagic, frameVersion, byte(FrameHealth), FlagResponse, 1, 2, 3, 4}, body...)
+	if !bytes.Equal(enc, legacy) {
+		t.Fatalf("untraced frame encoding changed:\n got %x\nwant %x", enc, legacy)
+	}
+}
+
+// TestFrameTracedTruncated: a flagged frame whose body cannot hold the
+// trace field is malformed, not silently un-traced.
+func TestFrameTracedTruncated(t *testing.T) {
+	enc := EncodeFrame(Frame{Kind: FrameHealth, ReqID: 2, Trace: 42})
+	for cut := len(enc) - 8; cut < len(enc); cut++ {
+		if _, err := DecodeFrame(enc[:cut]); !errors.Is(err, core.ErrTruncated) {
+			t.Fatalf("cut %d: got %v, want ErrTruncated", cut, err)
+		}
+	}
+}
+
+// TestHealthExtendedRoundTrip pins the two accepted HEALTH encodings:
+// the legacy 10-byte body and the 12-byte extended body carrying the
+// merge-session occupancy a tracing-aware shard reports.
+func TestHealthExtendedRoundTrip(t *testing.T) {
+	in := HealthBody{MapVersion: 11, Sensors: 300, Sessions: 6}
+	h, err := DecodeHealth(in.EncodeExtended())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h != in {
+		t.Fatalf("extended health mismatch: got %+v, want %+v", h, in)
+	}
+	// Legacy encoding drops Sessions; both sides must agree it is zero.
+	h, err = DecodeHealth(in.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.MapVersion != 11 || h.Sensors != 300 || h.Sessions != 0 {
+		t.Fatalf("legacy health mismatch: %+v", h)
+	}
+	if _, err := DecodeHealth(in.EncodeExtended()[:11]); err == nil {
+		t.Fatal("11-byte HEALTH decoded")
+	}
+}

@@ -176,6 +176,43 @@ CODE=$(curl -s -o /dev/null -w '%{http_code}' "http://$COORD_HTTP/debug/pprof/")
 echo "== shard states"
 curl -fsS "http://$COORD_HTTP/v1/shards"; echo
 
+echo "== /debug/status aggregates the cluster in one snapshot"
+STATUS=$(curl -fsS "http://$COORD_HTTP/debug/status")
+for WANT in '"status":"ok"' '"shards_total":3' '"shards_up":3' '"identity_source":"none"'; do
+  grep -q "$WANT" <<<"$STATUS" || { echo "/debug/status missing $WANT: $STATUS" >&2; exit 1; }
+done
+[[ "$(grep -o '"addr":' <<<"$STATUS" | wc -l)" -eq 3 ]] || {
+  echo "/debug/status does not list 3 shards: $STATUS" >&2; exit 1; }
+grep -q '"build_info":{"version":' <<<"$STATUS" || {
+  echo "/debug/status missing build_info: $STATUS" >&2; exit 1; }
+grep -q '"go":"go' <<<"$STATUS" || { echo "build_info lacks a Go version: $STATUS" >&2; exit 1; }
+grep -q '"traced":true' <<<"$STATUS" || { echo "no shard negotiated tracing: $STATUS" >&2; exit 1; }
+echo "status ok: 3/3 shards, build info present"
+
+echo "== one trace ID follows the query across coordinator and shard"
+TRACE_ID=$(grep -o '"trace":"[0-9a-f]*"' <<<"$COMPACT" | head -1 | cut -d'"' -f4)
+[[ -n "$TRACE_ID" && "$TRACE_ID" != 0000000000000000 ]] || {
+  echo "query response carries no trace ID: $COMPACT" >&2; exit 1; }
+CSPANS=$(curl -fsS "http://$COORD_HTTP/debug/traces?trace=$TRACE_ID")
+grep -q '"op":"query"' <<<"$CSPANS" || { echo "coordinator trace lacks a query span: $CSPANS" >&2; exit 1; }
+grep -q '"op":"merge_round"' <<<"$CSPANS" || { echo "coordinator trace lacks round spans: $CSPANS" >&2; exit 1; }
+SHARD_SPANS=0
+for addr in "${SHARD_HTTP[@]}"; do
+  SSPANS=$(curl -fsS "http://$addr/debug/traces?trace=$TRACE_ID")
+  if grep -q '"op":"session_create"\|"op":"sufficient"' <<<"$SSPANS"; then
+    SHARD_SPANS=$((SHARD_SPANS + 1))
+    grep -q "\"trace\":\"$TRACE_ID\"" <<<"$SSPANS" || {
+      echo "shard $addr span trace mismatch: $SSPANS" >&2; exit 1; }
+  fi
+done
+[[ "$SHARD_SPANS" -ge 1 ]] || { echo "no shard recorded session spans for trace $TRACE_ID" >&2; exit 1; }
+echo "trace $TRACE_ID spans both sides ($SHARD_SPANS shards)"
+
+echo "== /debug/traces caps its response size"
+ONE=$(curl -fsS "http://$COORD_HTTP/debug/traces?limit=1")
+[[ "$(grep -o '"op":' <<<"$ONE" | wc -l)" -eq 1 ]] || {
+  echo "?limit=1 served more than one span: $ONE" >&2; exit 1; }
+
 echo "== kill shard 2 and expect a degraded but still-correct merge"
 kill "${PIDS[2]}" 2>/dev/null || true
 DEGRADED=
@@ -198,8 +235,9 @@ echo "== clean shutdown"
 kill -INT "$COORD_PID"
 wait "$COORD_PID"
 
-echo "== -trace-file captured the sessions as JSONL"
+echo "== -trace-file captured the sessions and spans as JSONL"
 [[ -s "$TRACE_FILE" ]] || { echo "trace file $TRACE_FILE empty" >&2; exit 1; }
 grep -q '"session":' "$TRACE_FILE" || { echo "trace file lines lack session IDs" >&2; exit 1; }
-echo "$(wc -l < "$TRACE_FILE") sessions traced to $TRACE_FILE"
+grep -q '"op":' "$TRACE_FILE" || { echo "trace file lines lack spans" >&2; exit 1; }
+echo "$(wc -l < "$TRACE_FILE") records traced to $TRACE_FILE"
 echo "cluster smoke: OK"
